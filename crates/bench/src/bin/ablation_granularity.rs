@@ -1,0 +1,49 @@
+//! Ablation: conflict-detection granularity (§V-B1).
+//!
+//! The paper's bayes result — STMs beating the HTMs — comes from the
+//! STMs' word-granularity conflict detection avoiding the false
+//! conflicts that line-granularity hardware detection suffers. This
+//! harness runs the STMs at both granularities to isolate the effect.
+
+use bench::{harness_flags, run_variant, selected_variants};
+use stamp_util::Args;
+use tm::{Granularity, SystemKind, TmConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (scale, filter, _) = harness_flags(&args);
+    let threads = args.get_u64("threads", 8) as usize;
+    let variants =
+        selected_variants(&filter.or(Some(vec!["bayes".into(), "vacation-high".into()])));
+    println!(
+        "ABLATION: STM conflict granularity word vs line ({threads} threads, scale 1/{scale})"
+    );
+    println!(
+        "{:<15} {:<11} {:>14} {:>10} | {:>14} {:>10}",
+        "variant", "system", "cycles(word)", "retries", "cycles(line)", "retries"
+    );
+    for v in &variants {
+        for sys in [SystemKind::LazyStm, SystemKind::EagerStm] {
+            let word = run_variant(
+                v,
+                scale,
+                TmConfig::new(sys, threads).stm_granularity(Granularity::Word),
+            );
+            let line = run_variant(
+                v,
+                scale,
+                TmConfig::new(sys, threads).stm_granularity(Granularity::Line),
+            );
+            assert!(word.verified && line.verified, "{} under {sys}", v.name);
+            println!(
+                "{:<15} {:<11} {:>14} {:>10.2} | {:>14} {:>10.2}",
+                v.name,
+                sys.label(),
+                word.run.sim_cycles,
+                word.run.stats.retries_per_txn(),
+                line.run.sim_cycles,
+                line.run.stats.retries_per_txn()
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: hybrid signature size (Table V uses 2048 bits).
+//!
+//! Smaller signatures alias more line addresses, so the hybrids suffer
+//! more false conflicts — the same mechanism that hurts the eager HTM
+//! when it overflows into its Bloom filter.
+
+use bench::{harness_flags, run_variant, selected_variants};
+use stamp_util::Args;
+use tm::{SystemKind, TmConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (scale, filter, _) = harness_flags(&args);
+    let threads = args.get_u64("threads", 8) as usize;
+    let variants = selected_variants(&filter.or(Some(vec!["vacation-high".into()])));
+    let sizes = [256usize, 512, 1024, 2048, 8192];
+    println!("ABLATION: hybrid signature size ({threads} threads, scale 1/{scale})");
+    print!("{:<15} {:<13}", "variant", "system");
+    for s in sizes {
+        print!("{:>16}", format!("{s}b cyc/ret"));
+    }
+    println!();
+    for v in &variants {
+        for sys in [SystemKind::LazyHybrid, SystemKind::EagerHybrid] {
+            print!("{:<15} {:<13}", v.name, sys.label());
+            for s in sizes {
+                let rep = run_variant(v, scale, TmConfig::new(sys, threads).signature_bits(s));
+                assert!(rep.verified, "{} under {sys} @{s}b", v.name);
+                print!(
+                    "{:>16}",
+                    format!(
+                        "{}/{:.2}",
+                        rep.run.sim_cycles,
+                        rep.run.stats.retries_per_txn()
+                    )
+                );
+            }
+            println!();
+        }
+    }
+}

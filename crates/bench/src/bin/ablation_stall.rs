@@ -1,0 +1,53 @@
+//! Ablation: eager-HTM conflict resolution — the paper's design point
+//! (requester aborts immediately, §IV) vs LogTM's actual behaviour
+//! (requester stalls; timestamp order prevents deadlock).
+//!
+//! The paper repeatedly notes its eager HTM's pathologies "are not
+//! intrinsic to HTM" and could be fixed with better conflict
+//! management; this harness quantifies that remark on the
+//! high-contention applications.
+
+use bench::{harness_flags, run_variant, selected_variants};
+use stamp_util::Args;
+use tm::{HtmConflictPolicy, SystemKind, TmConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (scale, filter, _) = harness_flags(&args);
+    let threads = args.get_u64("threads", 16) as usize;
+    let variants = selected_variants(&filter.or(Some(vec![
+        "intruder".into(),
+        "vacation-high".into(),
+        "yada".into(),
+    ])));
+    println!(
+        "ABLATION: eager-HTM requester-aborts (paper) vs requester-stalls (LogTM) — {threads} threads, scale 1/{scale}"
+    );
+    println!(
+        "{:<15} {:>16} {:>10} | {:>16} {:>10}",
+        "variant", "cycles(abort)", "retries", "cycles(stall)", "retries"
+    );
+    for v in &variants {
+        let abort = run_variant(
+            v,
+            scale,
+            TmConfig::new(SystemKind::EagerHtm, threads)
+                .htm_conflict(HtmConflictPolicy::RequesterAborts),
+        );
+        let stall = run_variant(
+            v,
+            scale,
+            TmConfig::new(SystemKind::EagerHtm, threads)
+                .htm_conflict(HtmConflictPolicy::RequesterStalls),
+        );
+        assert!(abort.verified && stall.verified, "{}", v.name);
+        println!(
+            "{:<15} {:>16} {:>10.2} | {:>16} {:>10.2}",
+            v.name,
+            abort.run.sim_cycles,
+            abort.run.stats.retries_per_txn(),
+            stall.run.sim_cycles,
+            stall.run.stats.retries_per_txn()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates Figure 1: speedup over sequential execution for every
+//! simulator-sized variant on all six TM systems as the number of
+//! logical processors grows from 1 to 16.
+//!
+//! Speedup is `sequential simulated cycles / system simulated cycles`,
+//! with the sequential baseline free of any annotation overhead —
+//! exactly the paper's normalization.
+//!
+//! Flags: `--scale N` (shrink workloads), `--variants a,b,...`,
+//! `--threadlist 1,2,4,8,16`, `--csv` (machine-readable rows only).
+
+use bench::{figure1_systems, harness_flags, run_variant, selected_variants, sequential_cycles};
+use stamp_util::Args;
+use tm::{SystemKind, TmConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (scale, filter, threads) = harness_flags(&args);
+    let csv = args.get_bool("csv");
+    let plot = args.get_bool("plot");
+    let with_lock = args.get_bool("with-lock");
+    let variants = selected_variants(&filter);
+    let systems: Vec<SystemKind> = figure1_systems()
+        .into_iter()
+        .chain(with_lock.then_some(SystemKind::GlobalLock))
+        .collect();
+    if csv {
+        println!("variant,system,threads,cycles,speedup,retries_per_txn,verified");
+    } else {
+        println!("FIGURE 1: Speedup over sequential (scale 1/{scale})");
+    }
+    for v in &variants {
+        let baseline = sequential_cycles(v, scale);
+        if !csv {
+            println!();
+            println!("{} (sequential: {} cycles)", v.name, baseline);
+            print!("{:<14}", "system");
+            for t in &threads {
+                print!("{:>9}", format!("{t}p"));
+            }
+            println!("   retries@max");
+        }
+        let mut chart_series: Vec<(SystemKind, Vec<f64>)> = Vec::new();
+        for &sys in &systems {
+            let mut retries_at_max = 0.0;
+            let mut row = Vec::new();
+            for &t in &threads {
+                let rep = run_variant(v, scale, TmConfig::new(sys, t));
+                let speedup = baseline as f64 / rep.run.sim_cycles.max(1) as f64;
+                retries_at_max = rep.run.stats.retries_per_txn();
+                if csv {
+                    println!(
+                        "{},{},{},{},{:.3},{:.3},{}",
+                        v.name,
+                        sys.label(),
+                        t,
+                        rep.run.sim_cycles,
+                        speedup,
+                        retries_at_max,
+                        rep.verified
+                    );
+                } else {
+                    assert!(rep.verified, "{} failed verification on {sys} @{t}", v.name);
+                }
+                row.push(speedup);
+            }
+            if !csv {
+                print!("{:<14}", sys.label());
+                for s in &row {
+                    print!("{:>9.2}", s);
+                }
+                println!("   {retries_at_max:.2}");
+            }
+            chart_series.push((sys, row));
+        }
+        if plot && !csv {
+            println!();
+            println!(
+                "{}",
+                bench::ascii_speedup_chart(
+                    &format!("{} — speedup vs processors", v.name),
+                    &threads,
+                    &chart_series
+                )
+            );
+        }
+    }
+}

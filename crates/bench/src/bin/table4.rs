@@ -1,0 +1,23 @@
+//! Regenerates Table IV: the 30 recommended configurations and data
+//! sets, with their original command-line arguments.
+
+fn main() {
+    println!("TABLE IV: Recommended configurations and data sets for STAMP");
+    println!("{:-<72}", "");
+    println!("{:<16} {:<44} Sim-sized", "Application", "Arguments");
+    println!("{:-<72}", "");
+    for v in stamp_util::all_variants() {
+        println!(
+            "{:<16} {:<44} {}",
+            v.name,
+            v.args,
+            if v.sim_sized() { "yes" } else { "no (++)" }
+        );
+    }
+    println!();
+    println!(
+        "{} variants total, {} simulator-sized (used for Table VI / Figure 1)",
+        stamp_util::all_variants().len(),
+        stamp_util::sim_variants().len()
+    );
+}

@@ -1,0 +1,131 @@
+//! Regenerates Table VI: the transactional characterization of the
+//! STAMP applications.
+//!
+//! Exactly as in the paper's methodology (§V-A):
+//! * per-transaction length, read/write set sizes (in 32-byte lines)
+//!   and time in transactions are measured on the **lazy HTM**;
+//! * read/write barrier counts are measured on the **lazy STM**;
+//! * retries per transaction are measured with **16 threads** on the
+//!   lazy/eager HTM and lazy/eager STM;
+//! * working sets (optional, `--working-sets`) come from sweeping the
+//!   modeled cache size from 16 KB to 64 MB and looking for knees in
+//!   the miss rate.
+//!
+//! Flags: `--scale N`, `--variants a,b,...`, `--threads16 N` (the
+//! retry-column thread count, default 16), `--working-sets`.
+
+use bench::{harness_flags, pct, run_variant, selected_variants};
+use stamp_util::Args;
+use tm::{CacheGeometry, SystemKind, TmConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (scale, filter, _) = harness_flags(&args);
+    let retry_threads = args.get_u64("threads16", 16) as usize;
+    let do_ws = args.get_bool("working-sets");
+    let variants = selected_variants(&filter);
+
+    println!("TABLE VI: Basic characterization of the STAMP applications (scale 1/{scale})");
+    println!(
+        "{:<15} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7} | {:>6} {:>6} {:>6} {:>6} | verify",
+        "Application",
+        "TxLen",
+        "RdSet",
+        "WrSet",
+        "RdBarr",
+        "WrBarr",
+        "TxTime",
+        "L-HTM",
+        "E-HTM",
+        "L-STM",
+        "E-STM"
+    );
+    println!(
+        "{:<15} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7} | {:>27} |",
+        "", "(cycles)", "(p90 ln)", "(p90 ln)", "(p90)", "(p90)", "", "retries/txn @16 threads"
+    );
+    println!("{:-<120}", "");
+
+    for v in &variants {
+        // Lazy HTM, 16 threads: sets, length, time in transactions.
+        let htm = run_variant(v, scale, TmConfig::new(SystemKind::LazyHtm, retry_threads));
+        // Lazy STM: barrier counts.
+        let stm = run_variant(v, scale, TmConfig::new(SystemKind::LazyStm, retry_threads));
+        // Remaining retry columns.
+        let ehtm = run_variant(v, scale, TmConfig::new(SystemKind::EagerHtm, retry_threads));
+        let estm = run_variant(v, scale, TmConfig::new(SystemKind::EagerStm, retry_threads));
+        let ok = htm.verified && stm.verified && ehtm.verified && estm.verified;
+        println!(
+            "{:<15} {:>10.0} {:>8} {:>8} {:>8} {:>8} {:>7} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {}",
+            v.name,
+            htm.run.stats.mean_txn_len(),
+            htm.run.stats.p90_read_lines(),
+            htm.run.stats.p90_write_lines(),
+            stm.run.stats.p90_read_barriers(),
+            stm.run.stats.p90_write_barriers(),
+            pct(htm.run.stats.time_in_txn()),
+            htm.run.stats.retries_per_txn(),
+            ehtm.run.stats.retries_per_txn(),
+            stm.run.stats.retries_per_txn(),
+            estm.run.stats.retries_per_txn(),
+            if ok { "OK" } else { "FAILED" },
+        );
+    }
+
+    if do_ws {
+        println!();
+        println!("Working sets (miss rate vs modeled cache size, sequential run):");
+        let sizes_kb: Vec<u64> = (0..13).map(|i| 16u64 << i).collect(); // 16KB..64MB
+        print!("{:<15}", "Application");
+        for s in &sizes_kb {
+            if *s < 1024 {
+                print!("{:>7}K", s);
+            } else {
+                print!("{:>7}M", s / 1024);
+            }
+        }
+        println!();
+        for v in &variants {
+            print!("{:<15}", v.name);
+            let mut rates = Vec::new();
+            for &kb in &sizes_kb {
+                let mut cfg = TmConfig::sequential().cache_sim(true);
+                cfg.l1 = CacheGeometry {
+                    size_bytes: kb * 1024,
+                    assoc: 4,
+                    line_bytes: 32,
+                };
+                let rep = run_variant(v, scale, cfg);
+                rates.push(rep.run.stats.miss_rate());
+            }
+            for r in &rates {
+                print!("{:>7.2}%", r * 100.0);
+            }
+            // Knee detection: the sizes with the largest relative drop
+            // below and above 1 MB (Table VI's small/large working sets).
+            let knee = |lo: usize, hi: usize| -> Option<u64> {
+                let mut best = (0.0f64, None);
+                for i in lo..hi.min(rates.len() - 1) {
+                    let drop = rates[i] - rates[i + 1];
+                    if drop > best.0 && drop > 0.001 {
+                        best = (drop, Some(sizes_kb[i + 1]));
+                    }
+                }
+                best.1
+            };
+            let small = knee(0, 6); // 16KB..512KB
+            let large = knee(6, rates.len());
+            print!(
+                "  small={}",
+                small.map(|k| format!("{k}KB")).unwrap_or("-".into())
+            );
+            println!(
+                " large={}",
+                large
+                    .map(|k| format!("{}MB", k / 1024))
+                    .unwrap_or("-".into())
+            );
+        }
+        println!("(knees in the miss-rate curve mark Table VI's working-set columns)");
+    }
+}

@@ -1,0 +1,74 @@
+//! Helpers shared by the application binaries: building a [`TmConfig`]
+//! from command-line flags.
+
+use tm::{Granularity, SystemKind, TmConfig};
+
+use crate::cli::Args;
+
+/// Build a [`TmConfig`] from the common driver flags:
+///
+/// * `--system <name>` — one of `seq`, `lazy-htm`, `eager-htm`,
+///   `lazy-stm`, `eager-stm`, `lazy-hybrid`, `eager-hybrid`
+///   (default `lazy-stm`);
+/// * `--threads <n>` / `-t <n>` is *not* used (apps use `-t` for their
+///   own flags); thread count comes from `--threads` only;
+/// * `--quantum <cycles>`, `--seed <s>`, `--cache-sim`,
+///   `--granularity word|line`.
+pub fn tm_config_from_args(args: &Args) -> TmConfig {
+    let system = args
+        .get("system")
+        .map(|s| SystemKind::parse(s).unwrap_or_else(|| panic!("unknown system {s:?}")))
+        .unwrap_or(SystemKind::LazyStm);
+    let threads = args.get_u64("threads", 4) as usize;
+    let mut cfg = if system == SystemKind::Sequential {
+        TmConfig::sequential()
+    } else {
+        TmConfig::new(system, threads)
+    };
+    let quantum = args.get_u64("quantum", cfg.quantum);
+    let seed = args.get_u64("seed", cfg.seed);
+    cfg = cfg.quantum(quantum).seed(seed);
+    if args.get_bool("cache-sim") {
+        cfg = cfg.cache_sim(true);
+    }
+    match args.get("granularity") {
+        Some("line") => cfg = cfg.stm_granularity(Granularity::Line),
+        Some("word") | None => {}
+        Some(other) => panic!("unknown granularity {other:?}"),
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = tm_config_from_args(&parse(""));
+        assert_eq!(cfg.system, SystemKind::LazyStm);
+        assert_eq!(cfg.threads, 4);
+    }
+
+    #[test]
+    fn full_flags() {
+        let cfg = tm_config_from_args(&parse(
+            "--system eager-htm --threads 8 --quantum 100 --cache-sim --granularity line",
+        ));
+        assert_eq!(cfg.system, SystemKind::EagerHtm);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.quantum, 100);
+        assert!(cfg.cache_sim);
+        assert_eq!(cfg.stm_granularity, Granularity::Line);
+    }
+
+    #[test]
+    fn sequential_forces_one_thread() {
+        let cfg = tm_config_from_args(&parse("--system seq --threads 8"));
+        assert_eq!(cfg.threads, 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-application parameter structs mirroring the command-line flags of
+//! the original suite (Table IV of the paper).
+
+/// bayes: learn the structure of a Bayesian network.
+///
+/// `-v` variables, `-r` records, `-n`/`-p` parents per variable (on
+/// average `n × p%`), `-i` edge-insertion penalty, `-e` max edges learned
+/// per variable, `-s` seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BayesParams {
+    /// Number of variables (`-v`).
+    pub vars: u32,
+    /// Number of observed records (`-r`).
+    pub records: u32,
+    /// Number of parents per variable in the generated ground-truth net
+    /// (`-n`).
+    pub num_parent: u32,
+    /// Percent chance of each candidate parent (`-p`).
+    pub percent_parent: u32,
+    /// Edge-insertion penalty (`-i`).
+    pub insert_penalty: u32,
+    /// Maximum edges learned per variable (`-e`).
+    pub max_num_edge_learned: u32,
+    /// PRNG seed (`-s`).
+    pub seed: u32,
+    /// Score with the ADtree (the original's structure) or by scanning
+    /// the record array (a denser-read-set substitution; the bayes
+    /// backend ablation compares the two).
+    pub adtree: bool,
+}
+
+/// genome: reconstruct a gene from segments.
+///
+/// `-g` gene length, `-s` segment length, `-n` number of segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenomeParams {
+    /// Gene length in nucleotides (`-g`).
+    pub gene_length: u64,
+    /// Segment length (`-s`).
+    pub segment_length: u64,
+    /// Number of segments sampled (`-n`).
+    pub num_segments: u64,
+    /// PRNG seed.
+    pub seed: u32,
+}
+
+/// intruder: signature-based network intrusion detection.
+///
+/// `-a` percent of flows with injected attacks, `-l` max packets per
+/// flow, `-n` number of flows, `-s` seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntruderParams {
+    /// Percentage of flows carrying an attack (`-a`).
+    pub attack_percent: u32,
+    /// Maximum packets per flow (`-l`).
+    pub max_packets_per_flow: u32,
+    /// Number of traffic flows (`-n`).
+    pub num_flows: u32,
+    /// PRNG seed (`-s`).
+    pub seed: u32,
+}
+
+/// kmeans: K-means clustering.
+///
+/// `-m`/`-n` min/max cluster counts, `-t` convergence threshold, and the
+/// generated input `random-n<points>-d<dims>-c<centers>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansParams {
+    /// Minimum number of clusters tried (`-m`).
+    pub min_clusters: u32,
+    /// Maximum number of clusters tried (`-n`).
+    pub max_clusters: u32,
+    /// Convergence threshold (`-t`).
+    pub threshold: f64,
+    /// Number of input points (input file `n`).
+    pub points: u32,
+    /// Dimensionality (input file `d`).
+    pub dims: u32,
+    /// Number of generating centers (input file `c`).
+    pub centers: u32,
+    /// PRNG seed for input generation.
+    pub seed: u32,
+}
+
+/// labyrinth: Lee's maze-routing algorithm.
+///
+/// Input maze `random-x<x>-y<y>-z<z>-n<paths>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabyrinthParams {
+    /// Maze width (`x`).
+    pub x: u32,
+    /// Maze height (`y`).
+    pub y: u32,
+    /// Maze depth (`z`).
+    pub z: u32,
+    /// Number of paths to route (`n`).
+    pub paths: u32,
+    /// PRNG seed for endpoint generation.
+    pub seed: u32,
+}
+
+/// ssca2: kernel 1 of the SSCA2 graph benchmark.
+///
+/// `-s` log2 of node count, `-i`/`-u` inter-clique and unidirectional
+/// probabilities, `-l` max path length, `-p` max parallel edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ssca2Params {
+    /// log2 of the number of nodes (`-s`).
+    pub scale: u32,
+    /// Probability of inter-clique edges (`-i`).
+    pub prob_interclique: f64,
+    /// Probability of unidirectional edges (`-u`).
+    pub prob_unidirectional: f64,
+    /// Maximum path length between cliques (`-l`).
+    pub max_path_length: u32,
+    /// Maximum number of parallel edges (`-p`).
+    pub max_parallel_edges: u32,
+    /// PRNG seed.
+    pub seed: u32,
+}
+
+/// vacation: travel-reservation OLTP.
+///
+/// `-n` items per session, `-q` percent of records queried, `-u` percent
+/// of sessions that are reservations/cancellations, `-r` records per
+/// reservation table, `-t` sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VacationParams {
+    /// Max items touched per session (`-n`).
+    pub items_per_session: u32,
+    /// Percent of records eligible per query (`-q`).
+    pub query_percent: u32,
+    /// Percent of sessions that reserve/cancel (the rest create/destroy)
+    /// (`-u`).
+    pub user_percent: u32,
+    /// Records of each reservation item (`-r`).
+    pub records: u32,
+    /// Total client sessions (`-t`).
+    pub sessions: u32,
+    /// PRNG seed.
+    pub seed: u32,
+}
+
+/// yada: Ruppert's Delaunay refinement.
+///
+/// `-a` minimum angle; the input mesh is generated with approximately
+/// `init_points` vertices (standing in for the paper's mesh files).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YadaParams {
+    /// Minimum triangle angle in degrees (`-a`).
+    pub min_angle: f64,
+    /// Approximate number of vertices in the generated input mesh (the
+    /// paper's `633.2` input has 1264 elements ≈ 640 points).
+    pub init_points: u32,
+    /// PRNG seed for mesh generation.
+    pub seed: u32,
+}
+
+/// The eight applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Bayesian-network structure learning.
+    Bayes,
+    /// Gene-sequence assembly.
+    Genome,
+    /// Network intrusion detection.
+    Intruder,
+    /// K-means clustering.
+    Kmeans,
+    /// Maze routing.
+    Labyrinth,
+    /// SSCA2 kernel 1 graph construction.
+    Ssca2,
+    /// Travel-reservation OLTP.
+    Vacation,
+    /// Delaunay mesh refinement.
+    Yada,
+}
+
+impl AppKind {
+    /// All eight apps in the paper's order.
+    pub const ALL: [AppKind; 8] = [
+        AppKind::Bayes,
+        AppKind::Genome,
+        AppKind::Intruder,
+        AppKind::Kmeans,
+        AppKind::Labyrinth,
+        AppKind::Ssca2,
+        AppKind::Vacation,
+        AppKind::Yada,
+    ];
+
+    /// Lower-case application name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Bayes => "bayes",
+            AppKind::Genome => "genome",
+            AppKind::Intruder => "intruder",
+            AppKind::Kmeans => "kmeans",
+            AppKind::Labyrinth => "labyrinth",
+            AppKind::Ssca2 => "ssca2",
+            AppKind::Vacation => "vacation",
+            AppKind::Yada => "yada",
+        }
+    }
+
+    /// The paper's application domain (Table II).
+    pub fn domain(self) -> &'static str {
+        match self {
+            AppKind::Bayes => "machine learning",
+            AppKind::Genome => "bioinformatics",
+            AppKind::Intruder => "security",
+            AppKind::Kmeans => "data mining",
+            AppKind::Labyrinth => "engineering",
+            AppKind::Ssca2 => "scientific",
+            AppKind::Vacation => "online transaction processing",
+            AppKind::Yada => "scientific",
+        }
+    }
+
+    /// The paper's one-line description (Table II).
+    pub fn description(self) -> &'static str {
+        match self {
+            AppKind::Bayes => "Learns structure of a Bayesian network",
+            AppKind::Genome => "Performs gene sequencing",
+            AppKind::Intruder => "Detects network intrusions",
+            AppKind::Kmeans => "Implements K-means clustering",
+            AppKind::Labyrinth => "Routes paths in maze",
+            AppKind::Ssca2 => "Creates efficient graph representation",
+            AppKind::Vacation => "Emulates travel reservation system",
+            AppKind::Yada => "Refines a Delaunay mesh",
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters for any of the eight applications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppParams {
+    /// bayes parameters.
+    Bayes(BayesParams),
+    /// genome parameters.
+    Genome(GenomeParams),
+    /// intruder parameters.
+    Intruder(IntruderParams),
+    /// kmeans parameters.
+    Kmeans(KmeansParams),
+    /// labyrinth parameters.
+    Labyrinth(LabyrinthParams),
+    /// ssca2 parameters.
+    Ssca2(Ssca2Params),
+    /// vacation parameters.
+    Vacation(VacationParams),
+    /// yada parameters.
+    Yada(YadaParams),
+}
+
+impl AppParams {
+    /// Which application these parameters belong to.
+    pub fn app(&self) -> AppKind {
+        match self {
+            AppParams::Bayes(_) => AppKind::Bayes,
+            AppParams::Genome(_) => AppKind::Genome,
+            AppParams::Intruder(_) => AppKind::Intruder,
+            AppParams::Kmeans(_) => AppKind::Kmeans,
+            AppParams::Labyrinth(_) => AppKind::Labyrinth,
+            AppParams::Ssca2(_) => AppKind::Ssca2,
+            AppParams::Vacation(_) => AppKind::Vacation,
+            AppParams::Yada(_) => AppKind::Yada,
+        }
+    }
+}

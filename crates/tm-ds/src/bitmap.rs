@@ -1,0 +1,162 @@
+//! A fixed-size bit array — the counterpart of STAMP's `lib/bitmap.c`
+//! (used by genome's segment bookkeeping and ssca2).
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+
+use crate::mem::Mem;
+
+/// A transactional bitmap of `num_bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmBitmap {
+    words: WordAddr,
+    num_bits: u64,
+}
+
+impl TmBitmap {
+    /// Create a bitmap with all bits clear.
+    pub fn create<M: Mem>(m: &mut M, num_bits: u64) -> TxResult<TmBitmap> {
+        assert!(num_bits > 0);
+        let words = m.alloc(num_bits.div_ceil(64));
+        Ok(TmBitmap { words, num_bits })
+    }
+
+    /// Capacity in bits.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    #[inline]
+    fn slot(&self, bit: u64) -> (WordAddr, u64) {
+        assert!(
+            bit < self.num_bits,
+            "bit {bit} out of range {}",
+            self.num_bits
+        );
+        (self.words.offset(bit / 64), 1u64 << (bit % 64))
+    }
+
+    /// Set `bit`; returns the previous value.
+    pub fn set<M: Mem>(&self, m: &mut M, bit: u64) -> TxResult<bool> {
+        let (addr, mask) = self.slot(bit);
+        let w = m.read(addr)?;
+        if w & mask != 0 {
+            return Ok(true);
+        }
+        m.write(addr, w | mask)?;
+        Ok(false)
+    }
+
+    /// Clear `bit`; returns the previous value.
+    pub fn clear<M: Mem>(&self, m: &mut M, bit: u64) -> TxResult<bool> {
+        let (addr, mask) = self.slot(bit);
+        let w = m.read(addr)?;
+        if w & mask == 0 {
+            return Ok(false);
+        }
+        m.write(addr, w & !mask)?;
+        Ok(true)
+    }
+
+    /// Test `bit`.
+    pub fn test<M: Mem>(&self, m: &mut M, bit: u64) -> TxResult<bool> {
+        let (addr, mask) = self.slot(bit);
+        Ok(m.read(addr)? & mask != 0)
+    }
+
+    /// Index of the first clear bit at or after `from`, if any.
+    pub fn find_clear<M: Mem>(&self, m: &mut M, from: u64) -> TxResult<Option<u64>> {
+        let mut bit = from;
+        while bit < self.num_bits {
+            let word_idx = bit / 64;
+            let w = m.read(self.words.offset(word_idx))?;
+            let upper = ((word_idx + 1) * 64).min(self.num_bits);
+            while bit < upper {
+                if w & (1 << (bit % 64)) == 0 {
+                    return Ok(Some(bit));
+                }
+                bit += 1;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Number of set bits.
+    pub fn count_set<M: Mem>(&self, m: &mut M) -> TxResult<u64> {
+        let mut total = 0;
+        let words = self.num_bits.div_ceil(64);
+        for i in 0..words {
+            let mut w = m.read(self.words.offset(i))?;
+            if (i + 1) * 64 > self.num_bits {
+                w &= (1u64 << (self.num_bits % 64)) - 1;
+            }
+            total += w.count_ones() as u64;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::SetupMem;
+    use tm::TmHeap;
+
+    #[test]
+    fn set_test_clear() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let b = TmBitmap::create(&mut m, 130).unwrap();
+        assert!(!b.test(&mut m, 0).unwrap());
+        assert!(!b.set(&mut m, 0).unwrap());
+        assert!(b.set(&mut m, 0).unwrap()); // already set
+        assert!(!b.set(&mut m, 129).unwrap());
+        assert!(b.test(&mut m, 129).unwrap());
+        assert_eq!(b.count_set(&mut m).unwrap(), 2);
+        assert!(b.clear(&mut m, 0).unwrap());
+        assert!(!b.clear(&mut m, 0).unwrap());
+        assert_eq!(b.count_set(&mut m).unwrap(), 1);
+    }
+
+    #[test]
+    fn find_clear_scans() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let b = TmBitmap::create(&mut m, 70).unwrap();
+        for i in 0..65 {
+            b.set(&mut m, i).unwrap();
+        }
+        assert_eq!(b.find_clear(&mut m, 0).unwrap(), Some(65));
+        for i in 65..70 {
+            b.set(&mut m, i).unwrap();
+        }
+        assert_eq!(b.find_clear(&mut m, 0).unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let b = TmBitmap::create(&mut m, 8).unwrap();
+        let _ = b.test(&mut m, 8);
+    }
+
+    #[test]
+    fn concurrent_distinct_bits() {
+        use tm::{SystemKind, TmConfig, TmRuntime};
+        let rt = TmRuntime::new(TmConfig::new(SystemKind::LazyStm, 4));
+        let b = {
+            let mut m = SetupMem::new(rt.heap());
+            TmBitmap::create(&mut m, 256).unwrap()
+        };
+        rt.run(|ctx| {
+            let tid = ctx.tid() as u64;
+            for i in 0..64u64 {
+                ctx.atomic(|txn| b.set(txn, i * 4 + tid).map(|_| ()));
+            }
+        });
+        let mut m = SetupMem::new(rt.heap());
+        assert_eq!(b.count_set(&mut m).unwrap(), 256);
+    }
+}

@@ -1,0 +1,237 @@
+//! A chained hash table — the counterpart of STAMP's `lib/hashtable.c`,
+//! used by genome's segment-deduplication phase.
+//!
+//! Fixed bucket count (the C version resizes; STAMP's genome sizes the
+//! table up front, and a fixed table keeps insert transactions free of
+//! whole-table conflicts). Chains are unsorted prepend lists of
+//! `[next, key, value]` nodes. There is deliberately *no* shared size
+//! counter: a hot counter would serialize every insert and destroy the
+//! "low contention" characteristic the paper reports for genome
+//! (Table III); use [`TmHashtable::count`] in setup/verification phases.
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+
+use crate::mem::Mem;
+
+const NEXT: u64 = 0;
+const KEY: u64 = 1;
+const VALUE: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+/// A transactional hash map from word keys to word values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmHashtable {
+    buckets: WordAddr,
+    num_buckets: u64,
+}
+
+#[inline]
+fn mix(key: u64) -> u64 {
+    // splitmix64 finalizer: decorrelates sequential keys.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TmHashtable {
+    /// Create a table with `num_buckets` chains (rounded up to a power
+    /// of two).
+    pub fn create<M: Mem>(m: &mut M, num_buckets: u64) -> TxResult<TmHashtable> {
+        let num_buckets = num_buckets.max(2).next_power_of_two();
+        let buckets = m.alloc(num_buckets);
+        Ok(TmHashtable {
+            buckets,
+            num_buckets,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> u64 {
+        self.num_buckets
+    }
+
+    /// Base address of the bucket array, for storing a table handle in
+    /// the heap (genome publishes a fresh per-level table this way).
+    pub fn buckets_base(&self) -> WordAddr {
+        self.buckets
+    }
+
+    /// Reassemble a handle from [`TmHashtable::buckets_base`] and the
+    /// bucket count it was created with.
+    pub fn from_raw(buckets: WordAddr, num_buckets: u64) -> TmHashtable {
+        assert!(num_buckets.is_power_of_two());
+        TmHashtable {
+            buckets,
+            num_buckets,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> WordAddr {
+        self.buckets.offset(mix(key) & (self.num_buckets - 1))
+    }
+
+    /// Insert `(key, value)` if the key is absent; returns true if
+    /// inserted.
+    pub fn insert<M: Mem>(&self, m: &mut M, key: u64, value: u64) -> TxResult<bool> {
+        let bucket = self.bucket(key);
+        let head = WordAddr(m.read(bucket)?);
+        let mut node = head;
+        while !node.is_null() {
+            if m.read(node.offset(KEY))? == key {
+                return Ok(false);
+            }
+            node = WordAddr(m.read(node.offset(NEXT))?);
+        }
+        let new = m.alloc_padded(NODE_WORDS);
+        m.init(new.offset(KEY), key)?;
+        m.init(new.offset(VALUE), value)?;
+        m.init(new.offset(NEXT), head.0)?;
+        m.write(bucket, new.0)?;
+        Ok(true)
+    }
+
+    /// Look up `key`.
+    pub fn get<M: Mem>(&self, m: &mut M, key: u64) -> TxResult<Option<u64>> {
+        let mut node = WordAddr(m.read(self.bucket(key))?);
+        while !node.is_null() {
+            if m.read(node.offset(KEY))? == key {
+                return Ok(Some(m.read(node.offset(VALUE))?));
+            }
+            node = WordAddr(m.read(node.offset(NEXT))?);
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains<M: Mem>(&self, m: &mut M, key: u64) -> TxResult<bool> {
+        Ok(self.get(m, key)?.is_some())
+    }
+
+    /// Remove `key`; returns its value if it was present.
+    pub fn remove<M: Mem>(&self, m: &mut M, key: u64) -> TxResult<Option<u64>> {
+        let bucket = self.bucket(key);
+        let mut prev = WordAddr::NULL;
+        let mut node = WordAddr(m.read(bucket)?);
+        while !node.is_null() {
+            if m.read(node.offset(KEY))? == key {
+                let value = m.read(node.offset(VALUE))?;
+                let after = m.read(node.offset(NEXT))?;
+                if prev.is_null() {
+                    m.write(bucket, after)?;
+                } else {
+                    m.write(prev.offset(NEXT), after)?;
+                }
+                return Ok(Some(value));
+            }
+            prev = node;
+            node = WordAddr(m.read(node.offset(NEXT))?);
+        }
+        Ok(None)
+    }
+
+    /// Count all entries by scanning every chain (setup/verification
+    /// only — O(buckets + entries)).
+    pub fn count<M: Mem>(&self, m: &mut M) -> TxResult<u64> {
+        let mut total = 0;
+        for b in 0..self.num_buckets {
+            let mut node = WordAddr(m.read(self.buckets.offset(b))?);
+            while !node.is_null() {
+                total += 1;
+                node = WordAddr(m.read(node.offset(NEXT))?);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Collect all `(key, value)` pairs in unspecified order
+    /// (setup/verification only).
+    pub fn to_vec<M: Mem>(&self, m: &mut M) -> TxResult<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        for b in 0..self.num_buckets {
+            let mut node = WordAddr(m.read(self.buckets.offset(b))?);
+            while !node.is_null() {
+                out.push((m.read(node.offset(KEY))?, m.read(node.offset(VALUE))?));
+                node = WordAddr(m.read(node.offset(NEXT))?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::SetupMem;
+    use tm::TmHeap;
+
+    #[test]
+    fn insert_get_remove() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let t = TmHashtable::create(&mut m, 16).unwrap();
+        for k in 0..100u64 {
+            assert!(t.insert(&mut m, k, k + 1000).unwrap());
+        }
+        assert!(!t.insert(&mut m, 50, 9).unwrap(), "duplicate accepted");
+        assert_eq!(t.count(&mut m).unwrap(), 100);
+        assert_eq!(t.get(&mut m, 73).unwrap(), Some(1073));
+        assert_eq!(t.get(&mut m, 200).unwrap(), None);
+        assert_eq!(t.remove(&mut m, 73).unwrap(), Some(1073));
+        assert_eq!(t.remove(&mut m, 73).unwrap(), None);
+        assert!(!t.contains(&mut m, 73).unwrap());
+        assert_eq!(t.count(&mut m).unwrap(), 99);
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let t = TmHashtable::create(&mut m, 2).unwrap(); // everything collides
+        for k in 0..50u64 {
+            assert!(t.insert(&mut m, k, k).unwrap());
+        }
+        for k in 0..50u64 {
+            assert_eq!(t.get(&mut m, k).unwrap(), Some(k));
+        }
+        // Remove from middle of chains.
+        for k in (0..50u64).step_by(3) {
+            assert_eq!(t.remove(&mut m, k).unwrap(), Some(k));
+        }
+        for k in 0..50u64 {
+            assert_eq!(t.contains(&mut m, k).unwrap(), k % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_dedup_inserts() {
+        use tm::{SystemKind, TmConfig, TmRuntime};
+        for sys in [SystemKind::LazyStm, SystemKind::LazyHybrid] {
+            let rt = TmRuntime::new(TmConfig::new(sys, 4));
+            let t = {
+                let mut m = SetupMem::new(rt.heap());
+                TmHashtable::create(&mut m, 64).unwrap()
+            };
+            let inserted = rt.heap().alloc_cell(0u64);
+            rt.run(|ctx| {
+                // All threads try to insert the same 100 keys: exactly
+                // 100 must win in total.
+                let mut wins = 0u64;
+                for k in 0..100u64 {
+                    if ctx.atomic(|txn| t.insert(txn, k, k)) {
+                        wins += 1;
+                    }
+                }
+                ctx.atomic(|txn| {
+                    let v = txn.read(&inserted)?;
+                    txn.write(&inserted, v + wins)
+                });
+            });
+            let mut m = SetupMem::new(rt.heap());
+            assert_eq!(t.count(&mut m).unwrap(), 100, "under {sys}");
+            assert_eq!(rt.heap().load_cell(&inserted), 100, "under {sys}");
+        }
+    }
+}

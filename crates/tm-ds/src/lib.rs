@@ -1,0 +1,56 @@
+//! # tm-ds — transactional data structures for STAMP-rs
+//!
+//! The counterpart of the original suite's `lib/` directory: every STAMP
+//! application builds its shared state from these structures, which
+//! perform all their memory accesses through the [`Mem`] abstraction so
+//! the same implementation serves transactional execution
+//! ([`tm::Txn`]), uninstrumented setup ([`SetupMem`]), and costed
+//! thread-private access ([`CtxMem`]).
+//!
+//! | Module | STAMP counterpart | Used by |
+//! |---|---|---|
+//! | [`list`] | `lib/list.c` | bayes, genome, yada |
+//! | [`queue`] | `lib/queue.c` | intruder, labyrinth |
+//! | [`hashtable`] | `lib/hashtable.c` | genome |
+//! | [`rbtree`] | `lib/rbtree.c` | vacation, intruder |
+//! | [`pqueue`] | `lib/heap.c` | yada |
+//! | [`vector`] | `lib/vector.c` | several |
+//! | [`bitmap`] | `lib/bitmap.c` | genome, ssca2 |
+//!
+//! ```
+//! use tm::{SystemKind, TmConfig, TmRuntime};
+//! use tm_ds::{Mem, SetupMem, TmRbTree};
+//!
+//! let rt = TmRuntime::new(TmConfig::new(SystemKind::LazyStm, 2));
+//! let tree = {
+//!     let mut m = SetupMem::new(rt.heap());
+//!     TmRbTree::create(&mut m).unwrap()
+//! };
+//! rt.run(|ctx| {
+//!     let tid = ctx.tid() as u64;
+//!     ctx.atomic(|txn| tree.insert(txn, tid, tid * 10).map(|_| ()));
+//! });
+//! let mut m = SetupMem::new(rt.heap());
+//! assert_eq!(tree.count(&mut m).unwrap(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitmap;
+pub mod hashtable;
+pub mod list;
+pub mod mem;
+pub mod pqueue;
+pub mod queue;
+pub mod rbtree;
+pub mod vector;
+
+pub use bitmap::TmBitmap;
+pub use hashtable::TmHashtable;
+pub use list::TmList;
+pub use mem::{CtxMem, Mem, PrivateMem, SetupMem};
+pub use pqueue::TmPQueue;
+pub use queue::TmQueue;
+pub use rbtree::TmRbTree;
+pub use vector::TmVector;

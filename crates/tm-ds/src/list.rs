@@ -1,0 +1,260 @@
+//! A sorted singly-linked list with set semantics — the counterpart of
+//! STAMP's `lib/list.c`, used by several applications for ordered
+//! collections with transactional access.
+//!
+//! Layout: a sentinel head node, then nodes sorted by key. Each node is
+//! three words: `[next, key, value]`.
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+
+use crate::mem::Mem;
+
+const NEXT: u64 = 0;
+const KEY: u64 = 1;
+const VALUE: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+/// A sorted list of `(key, value)` pairs with unique keys.
+///
+/// The handle is copyable; all state lives in the transactional heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmList {
+    /// Sentinel node; its `next` is the first element.
+    head: WordAddr,
+    /// Size counter cell.
+    size: WordAddr,
+}
+
+impl TmList {
+    /// Create an empty list.
+    ///
+    /// The sentinel and size cell share one line-padded block: both are
+    /// written by every mutation, and sharing a line with another
+    /// concurrently created object would manufacture false conflicts
+    /// under line-granularity detection.
+    pub fn create<M: Mem>(m: &mut M) -> TxResult<TmList> {
+        let block = m.alloc_padded(NODE_WORDS + 1);
+        let head = block;
+        let size = block.offset(NODE_WORDS);
+        m.init(head.offset(NEXT), WordAddr::NULL.0)?;
+        m.init(size, 0)?;
+        Ok(TmList { head, size })
+    }
+
+    /// Decompose into raw cell addresses, for storing a list handle
+    /// inside another transactional structure (vacation keeps one
+    /// reservation list per customer).
+    pub fn as_raw(&self) -> (WordAddr, WordAddr) {
+        (self.head, self.size)
+    }
+
+    /// Reassemble a handle produced by [`TmList::as_raw`].
+    pub fn from_raw(head: WordAddr, size: WordAddr) -> TmList {
+        TmList { head, size }
+    }
+
+    /// Number of elements.
+    pub fn len<M: Mem>(&self, m: &mut M) -> TxResult<u64> {
+        m.read(self.size)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty<M: Mem>(&self, m: &mut M) -> TxResult<bool> {
+        Ok(self.len(m)? == 0)
+    }
+
+    /// First element node, or null.
+    pub fn first<M: Mem>(&self, m: &mut M) -> TxResult<WordAddr> {
+        Ok(WordAddr(m.read(self.head.offset(NEXT))?))
+    }
+
+    /// Successor of `node`, or null.
+    pub fn next<M: Mem>(&self, m: &mut M, node: WordAddr) -> TxResult<WordAddr> {
+        Ok(WordAddr(m.read(node.offset(NEXT))?))
+    }
+
+    /// Key stored in `node`.
+    pub fn key<M: Mem>(&self, m: &mut M, node: WordAddr) -> TxResult<u64> {
+        m.read(node.offset(KEY))
+    }
+
+    /// Value stored in `node`.
+    pub fn value<M: Mem>(&self, m: &mut M, node: WordAddr) -> TxResult<u64> {
+        m.read(node.offset(VALUE))
+    }
+
+    /// Find the node before the first node with key >= `key`.
+    fn find_prev<M: Mem>(&self, m: &mut M, key: u64) -> TxResult<WordAddr> {
+        let mut prev = self.head;
+        loop {
+            let next = WordAddr(m.read(prev.offset(NEXT))?);
+            if next.is_null() || m.read(next.offset(KEY))? >= key {
+                return Ok(prev);
+            }
+            prev = next;
+        }
+    }
+
+    /// Insert `(key, value)`; returns false (and leaves the list
+    /// unchanged) if the key is already present.
+    pub fn insert<M: Mem>(&self, m: &mut M, key: u64, value: u64) -> TxResult<bool> {
+        let prev = self.find_prev(m, key)?;
+        let next = WordAddr(m.read(prev.offset(NEXT))?);
+        if !next.is_null() && m.read(next.offset(KEY))? == key {
+            return Ok(false);
+        }
+        let node = m.alloc_padded(NODE_WORDS);
+        m.init(node.offset(KEY), key)?;
+        m.init(node.offset(VALUE), value)?;
+        m.init(node.offset(NEXT), next.0)?;
+        m.write(prev.offset(NEXT), node.0)?;
+        let n = m.read(self.size)?;
+        m.write(self.size, n + 1)?;
+        Ok(true)
+    }
+
+    /// Look up the value stored under `key`.
+    pub fn find<M: Mem>(&self, m: &mut M, key: u64) -> TxResult<Option<u64>> {
+        let prev = self.find_prev(m, key)?;
+        let next = WordAddr(m.read(prev.offset(NEXT))?);
+        if !next.is_null() && m.read(next.offset(KEY))? == key {
+            Ok(Some(m.read(next.offset(VALUE))?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Remove `key`; returns the removed value, if present.
+    pub fn remove<M: Mem>(&self, m: &mut M, key: u64) -> TxResult<Option<u64>> {
+        let prev = self.find_prev(m, key)?;
+        let next = WordAddr(m.read(prev.offset(NEXT))?);
+        if next.is_null() || m.read(next.offset(KEY))? != key {
+            return Ok(None);
+        }
+        let value = m.read(next.offset(VALUE))?;
+        let after = m.read(next.offset(NEXT))?;
+        m.write(prev.offset(NEXT), after)?;
+        let n = m.read(self.size)?;
+        m.write(self.size, n - 1)?;
+        Ok(Some(value))
+    }
+
+    /// Update the value under `key`, inserting if absent. Returns the
+    /// previous value if the key existed.
+    pub fn upsert<M: Mem>(&self, m: &mut M, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let prev = self.find_prev(m, key)?;
+        let next = WordAddr(m.read(prev.offset(NEXT))?);
+        if !next.is_null() && m.read(next.offset(KEY))? == key {
+            let old = m.read(next.offset(VALUE))?;
+            m.write(next.offset(VALUE), value)?;
+            return Ok(Some(old));
+        }
+        let node = m.alloc_padded(NODE_WORDS);
+        m.init(node.offset(KEY), key)?;
+        m.init(node.offset(VALUE), value)?;
+        m.init(node.offset(NEXT), next.0)?;
+        m.write(prev.offset(NEXT), node.0)?;
+        let n = m.read(self.size)?;
+        m.write(self.size, n + 1)?;
+        Ok(None)
+    }
+
+    /// Collect all `(key, value)` pairs in order (setup/verification
+    /// helper).
+    pub fn to_vec<M: Mem>(&self, m: &mut M) -> TxResult<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        let mut node = self.first(m)?;
+        while !node.is_null() {
+            out.push((self.key(m, node)?, self.value(m, node)?));
+            node = self.next(m, node)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::SetupMem;
+    use tm::TmHeap;
+
+    fn fresh() -> (TmHeap, TmList) {
+        let heap = TmHeap::new();
+        let list = {
+            let mut m = SetupMem::new(&heap);
+            TmList::create(&mut m).unwrap()
+        };
+        (heap, list)
+    }
+
+    #[test]
+    fn insert_find_remove() {
+        let (heap, list) = fresh();
+        let mut m = SetupMem::new(&heap);
+        assert!(list.insert(&mut m, 5, 50).unwrap());
+        assert!(list.insert(&mut m, 3, 30).unwrap());
+        assert!(list.insert(&mut m, 8, 80).unwrap());
+        assert!(!list.insert(&mut m, 5, 99).unwrap(), "duplicate accepted");
+        assert_eq!(list.len(&mut m).unwrap(), 3);
+        assert_eq!(list.find(&mut m, 3).unwrap(), Some(30));
+        assert_eq!(list.find(&mut m, 4).unwrap(), None);
+        assert_eq!(list.remove(&mut m, 3).unwrap(), Some(30));
+        assert_eq!(list.remove(&mut m, 3).unwrap(), None);
+        assert_eq!(list.len(&mut m).unwrap(), 2);
+        assert_eq!(list.to_vec(&mut m).unwrap(), vec![(5, 50), (8, 80)]);
+    }
+
+    #[test]
+    fn stays_sorted() {
+        let (heap, list) = fresh();
+        let mut m = SetupMem::new(&heap);
+        for k in [9u64, 1, 7, 3, 5, 2, 8, 0, 6, 4] {
+            assert!(list.insert(&mut m, k, k * 10).unwrap());
+        }
+        let v = list.to_vec(&mut m).unwrap();
+        let keys: Vec<u64> = v.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let (heap, list) = fresh();
+        let mut m = SetupMem::new(&heap);
+        assert_eq!(list.upsert(&mut m, 1, 10).unwrap(), None);
+        assert_eq!(list.upsert(&mut m, 1, 20).unwrap(), Some(10));
+        assert_eq!(list.len(&mut m).unwrap(), 1);
+        assert_eq!(list.find(&mut m, 1).unwrap(), Some(20));
+    }
+
+    #[test]
+    fn transactional_concurrent_inserts() {
+        use tm::{SystemKind, TmConfig, TmRuntime};
+        for sys in [
+            SystemKind::LazyStm,
+            SystemKind::EagerHtm,
+            SystemKind::LazyHybrid,
+        ] {
+            let rt = TmRuntime::new(TmConfig::new(sys, 4));
+            let list = {
+                let mut m = SetupMem::new(rt.heap());
+                TmList::create(&mut m).unwrap()
+            };
+            rt.run(|ctx| {
+                let tid = ctx.tid() as u64;
+                for i in 0..25u64 {
+                    let key = i * 4 + tid;
+                    ctx.atomic(|txn| list.insert(txn, key, key * 2));
+                }
+            });
+            let mut m = SetupMem::new(rt.heap());
+            assert_eq!(list.len(&mut m).unwrap(), 100, "under {sys}");
+            let v = list.to_vec(&mut m).unwrap();
+            assert_eq!(v.len(), 100);
+            for (i, &(k, val)) in v.iter().enumerate() {
+                assert_eq!(k, i as u64);
+                assert_eq!(val, k * 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`Mem`] abstraction: one implementation of each data structure
+//! serves three access modes.
+//!
+//! * [`tm::Txn`] — transactional access inside a running transaction
+//!   (reads/writes become TM barriers);
+//! * [`SetupMem`] — uninstrumented access for single-threaded input
+//!   generation and output verification outside the measured region;
+//! * [`CtxMem`] — costed but non-transactional access for per-thread
+//!   private data during a run (the paper's apps deliberately skip
+//!   barriers on private data, e.g. labyrinth's grid copy).
+
+use tm::heap::TmHeap;
+use tm::runtime::ThreadCtx;
+use tm::txn::{TxResult, Txn};
+use tm::WordAddr;
+
+/// Word-granular memory access used by every collection operation.
+///
+/// Errors abort the enclosing transaction; the non-transactional
+/// implementations never fail.
+pub trait Mem {
+    /// Read the word at `addr`.
+    fn read(&mut self, addr: WordAddr) -> TxResult<u64>;
+    /// Write the word at `addr`.
+    fn write(&mut self, addr: WordAddr, value: u64) -> TxResult<()>;
+    /// Allocate fresh zeroed words.
+    fn alloc(&mut self, words: u64) -> WordAddr;
+    /// Allocate fresh zeroed words padded out to whole cache lines, so
+    /// the object shares no line with any other object — what C's
+    /// `malloc` gives 64-byte-class nodes via headers and alignment.
+    /// Hot mutable nodes (vacation's reservation records, yada's
+    /// triangles) use this to avoid artificial false sharing under
+    /// line-granularity conflict detection.
+    fn alloc_padded(&mut self, words: u64) -> WordAddr {
+        self.alloc(words)
+    }
+    /// Initialize a word of freshly allocated memory (no barrier needed:
+    /// the memory is unpublished).
+    fn init(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.write(addr, value)
+    }
+    /// Charge computational work (simulated cycles). No-op outside a
+    /// costed context.
+    fn work(&mut self, _cycles: u64) {}
+}
+
+impl Mem for Txn<'_> {
+    #[inline]
+    fn read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        self.read_word(addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.write_word(addr, value)
+    }
+
+    #[inline]
+    fn alloc(&mut self, words: u64) -> WordAddr {
+        self.alloc_words(words)
+    }
+
+    #[inline]
+    fn alloc_padded(&mut self, words: u64) -> WordAddr {
+        self.alloc_words_line_padded(words)
+    }
+
+    #[inline]
+    fn init(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.init_word(addr, value);
+        Ok(())
+    }
+
+    #[inline]
+    fn work(&mut self, cycles: u64) {
+        Txn::work(self, cycles);
+    }
+}
+
+/// Uninstrumented heap access for setup/verification phases.
+#[derive(Debug, Clone, Copy)]
+pub struct SetupMem<'a> {
+    heap: &'a TmHeap,
+}
+
+impl<'a> SetupMem<'a> {
+    /// Wrap a heap for setup-phase access.
+    pub fn new(heap: &'a TmHeap) -> Self {
+        SetupMem { heap }
+    }
+
+    /// The underlying heap.
+    pub fn heap(&self) -> &'a TmHeap {
+        self.heap
+    }
+}
+
+impl Mem for SetupMem<'_> {
+    #[inline]
+    fn read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        Ok(self.heap.raw_load(addr))
+    }
+
+    #[inline]
+    fn write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.heap.raw_store(addr, value);
+        Ok(())
+    }
+
+    #[inline]
+    fn alloc(&mut self, words: u64) -> WordAddr {
+        self.heap.alloc_words(words)
+    }
+
+    #[inline]
+    fn alloc_padded(&mut self, words: u64) -> WordAddr {
+        self.heap.alloc_words_line_padded(words)
+    }
+}
+
+/// Read-only access *inside* a transaction with barriers elided — the
+/// paper's manual optimization for immutable shared data (bayes reads
+/// its sufficient-statistics structure this way on the STMs/hybrids,
+/// while the HTMs track the same reads implicitly via a plain
+/// [`tm::Txn`]).
+///
+/// Writes and allocations panic: this view is strictly read-only.
+#[derive(Debug)]
+pub struct PrivateMem<'a, 'b> {
+    txn: &'a mut Txn<'b>,
+}
+
+impl<'a, 'b> PrivateMem<'a, 'b> {
+    /// Wrap a transaction for barrier-elided reads of immutable data.
+    pub fn new(txn: &'a mut Txn<'b>) -> Self {
+        PrivateMem { txn }
+    }
+}
+
+impl Mem for PrivateMem<'_, '_> {
+    #[inline]
+    fn read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        Ok(self.txn.load_private(addr))
+    }
+
+    fn write(&mut self, _addr: WordAddr, _value: u64) -> TxResult<()> {
+        panic!("PrivateMem is read-only (barrier-elided view of immutable data)");
+    }
+
+    fn alloc(&mut self, _words: u64) -> WordAddr {
+        panic!("PrivateMem is read-only (barrier-elided view of immutable data)");
+    }
+
+    #[inline]
+    fn work(&mut self, cycles: u64) {
+        Txn::work(self.txn, cycles);
+    }
+}
+
+/// Costed, non-transactional access to thread-private data during a run.
+#[derive(Debug)]
+pub struct CtxMem<'a, 'b> {
+    ctx: &'a mut ThreadCtx,
+    _marker: std::marker::PhantomData<&'b ()>,
+}
+
+impl<'a> CtxMem<'a, '_> {
+    /// Wrap a thread context for private-data access.
+    pub fn new(ctx: &'a mut ThreadCtx) -> Self {
+        CtxMem {
+            ctx,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Mem for CtxMem<'_, '_> {
+    #[inline]
+    fn read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        Ok(self.ctx.load_word(addr))
+    }
+
+    #[inline]
+    fn write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.ctx.store_word(addr, value);
+        Ok(())
+    }
+
+    #[inline]
+    fn alloc(&mut self, words: u64) -> WordAddr {
+        self.ctx.heap().alloc_words(words)
+    }
+
+    #[inline]
+    fn alloc_padded(&mut self, words: u64) -> WordAddr {
+        self.ctx.heap().alloc_words_line_padded(words)
+    }
+
+    #[inline]
+    fn work(&mut self, cycles: u64) {
+        self.ctx.work(cycles);
+    }
+}

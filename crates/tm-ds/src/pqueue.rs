@@ -1,0 +1,213 @@
+//! A binary min-heap — the counterpart of STAMP's `lib/heap.c` (yada's
+//! work queue of skinny triangles).
+//!
+//! Array-backed with transactional growth, keyed by the stored word
+//! itself (store `!key` to get max-heap behaviour, or pack a priority
+//! into the high bits).
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+
+use crate::mem::Mem;
+
+const DATA: u64 = 0;
+const CAP: u64 = 1;
+const SIZE: u64 = 2;
+
+/// A transactional binary min-heap of words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmPQueue {
+    header: WordAddr,
+}
+
+impl TmPQueue {
+    /// Create an empty heap with the given initial capacity (≥ 1).
+    pub fn create<M: Mem>(m: &mut M, capacity: u64) -> TxResult<TmPQueue> {
+        let capacity = capacity.max(1);
+        let header = m.alloc(3);
+        let data = m.alloc(capacity);
+        m.init(header.offset(DATA), data.0)?;
+        m.init(header.offset(CAP), capacity)?;
+        m.init(header.offset(SIZE), 0)?;
+        Ok(TmPQueue { header })
+    }
+
+    /// Number of elements.
+    pub fn len<M: Mem>(&self, m: &mut M) -> TxResult<u64> {
+        m.read(self.header.offset(SIZE))
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty<M: Mem>(&self, m: &mut M) -> TxResult<bool> {
+        Ok(self.len(m)? == 0)
+    }
+
+    /// Insert `value`.
+    pub fn push<M: Mem>(&self, m: &mut M, value: u64) -> TxResult<()> {
+        let size = m.read(self.header.offset(SIZE))?;
+        let cap = m.read(self.header.offset(CAP))?;
+        let mut data = WordAddr(m.read(self.header.offset(DATA))?);
+        if size == cap {
+            let new_cap = cap * 2;
+            let new_data = m.alloc(new_cap);
+            for i in 0..size {
+                let v = m.read(data.offset(i))?;
+                m.init(new_data.offset(i), v)?;
+            }
+            m.write(self.header.offset(DATA), new_data.0)?;
+            m.write(self.header.offset(CAP), new_cap)?;
+            data = new_data;
+        }
+        // Sift up.
+        let mut i = size;
+        m.write(data.offset(i), value)?;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = m.read(data.offset(parent))?;
+            if pv <= value {
+                break;
+            }
+            m.write(data.offset(i), pv)?;
+            m.write(data.offset(parent), value)?;
+            i = parent;
+        }
+        m.write(self.header.offset(SIZE), size + 1)?;
+        Ok(())
+    }
+
+    /// Smallest element without removing it.
+    pub fn peek<M: Mem>(&self, m: &mut M) -> TxResult<Option<u64>> {
+        let size = m.read(self.header.offset(SIZE))?;
+        if size == 0 {
+            return Ok(None);
+        }
+        let data = WordAddr(m.read(self.header.offset(DATA))?);
+        Ok(Some(m.read(data.offset(0))?))
+    }
+
+    /// Remove and return the smallest element.
+    pub fn pop<M: Mem>(&self, m: &mut M) -> TxResult<Option<u64>> {
+        let size = m.read(self.header.offset(SIZE))?;
+        if size == 0 {
+            return Ok(None);
+        }
+        let data = WordAddr(m.read(self.header.offset(DATA))?);
+        let min = m.read(data.offset(0))?;
+        let last = m.read(data.offset(size - 1))?;
+        let size = size - 1;
+        m.write(self.header.offset(SIZE), size)?;
+        if size > 0 {
+            // Sift the former last element down from the root.
+            let mut i = 0u64;
+            m.write(data.offset(0), last)?;
+            loop {
+                let l = 2 * i + 1;
+                let r = 2 * i + 2;
+                let mut smallest = i;
+                let mut sv = last;
+                if l < size {
+                    let lv = m.read(data.offset(l))?;
+                    if lv < sv {
+                        smallest = l;
+                        sv = lv;
+                    }
+                }
+                if r < size {
+                    let rv = m.read(data.offset(r))?;
+                    if rv < sv {
+                        smallest = r;
+                        sv = rv;
+                    }
+                }
+                if smallest == i {
+                    break;
+                }
+                m.write(data.offset(smallest), last)?;
+                m.write(data.offset(i), sv)?;
+                i = smallest;
+            }
+        }
+        Ok(Some(min))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::SetupMem;
+    use tm::TmHeap;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let q = TmPQueue::create(&mut m, 2).unwrap();
+        let items = [42u64, 7, 19, 3, 3, 88, 1, 64, 25, 0];
+        for &v in &items {
+            q.push(&mut m, v).unwrap();
+        }
+        assert_eq!(q.len(&mut m).unwrap(), items.len() as u64);
+        assert_eq!(q.peek(&mut m).unwrap(), Some(0));
+        let mut out = Vec::new();
+        while let Some(v) = q.pop(&mut m).unwrap() {
+            out.push(v);
+        }
+        let mut expect = items.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+        assert_eq!(q.pop(&mut m).unwrap(), None);
+    }
+
+    #[test]
+    fn interleaved_operations_keep_heap_property() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let q = TmPQueue::create(&mut m, 4).unwrap();
+        let mut reference = std::collections::BinaryHeap::new();
+        let mut rng = 12345u64;
+        for _ in 0..500 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if rng % 3 == 0 {
+                assert_eq!(
+                    q.pop(&mut m).unwrap(),
+                    reference.pop().map(|std::cmp::Reverse(v)| v)
+                );
+            } else {
+                let v = rng >> 40;
+                q.push(&mut m, v).unwrap();
+                reference.push(std::cmp::Reverse(v));
+            }
+        }
+        while let Some(std::cmp::Reverse(v)) = reference.pop() {
+            assert_eq!(q.pop(&mut m).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn concurrent_work_queue() {
+        use tm::{SystemKind, TmConfig, TmRuntime};
+        let rt = TmRuntime::new(TmConfig::new(SystemKind::EagerStm, 4));
+        let q = {
+            let mut m = SetupMem::new(rt.heap());
+            let q = TmPQueue::create(&mut m, 8).unwrap();
+            for i in 1..=100u64 {
+                q.push(&mut m, i).unwrap();
+            }
+            q
+        };
+        let sum = rt.heap().alloc_cell(0u64);
+        rt.run(|ctx| {
+            let mut local = 0u64;
+            while let Some(v) = ctx.atomic(|txn| q.pop(txn)) {
+                local += v;
+            }
+            ctx.atomic(|txn| {
+                let s = txn.read(&sum)?;
+                txn.write(&sum, s + local)
+            });
+        });
+        assert_eq!(rt.heap().load_cell(&sum), (1..=100u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,174 @@
+//! A FIFO queue — the counterpart of STAMP's `lib/queue.c`, used by
+//! intruder's capture phase and as a general work queue.
+//!
+//! Implemented as a singly-linked list with head/tail pointers and a
+//! sentinel: `push_back` links at the tail, `pop_front` unlinks after the
+//! sentinel. Each node is two words: `[next, value]`.
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+
+use crate::mem::Mem;
+
+const NEXT: u64 = 0;
+const VALUE: u64 = 1;
+const NODE_WORDS: u64 = 2;
+
+/// A transactional FIFO queue of words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmQueue {
+    /// Cell holding the sentinel-ish head node address.
+    head: WordAddr, // points at a node whose NEXT is the first element
+    /// Cell holding the tail node address (== head node when empty).
+    tail: WordAddr,
+    /// Size counter cell.
+    size: WordAddr,
+}
+
+impl TmQueue {
+    /// Create an empty queue.
+    pub fn create<M: Mem>(m: &mut M) -> TxResult<TmQueue> {
+        let sentinel = m.alloc_padded(NODE_WORDS);
+        m.init(sentinel.offset(NEXT), WordAddr::NULL.0)?;
+        // head/tail/size share one exclusive line (a pop writes head &
+        // size, a push writes tail & size: they conflict on `size`
+        // anyway, so one line costs nothing and aliases with nothing).
+        let block = m.alloc_padded(3);
+        let head = block;
+        let tail = block.offset(1);
+        let size = block.offset(2);
+        m.init(head, sentinel.0)?;
+        m.init(tail, sentinel.0)?;
+        m.init(size, 0)?;
+        Ok(TmQueue { head, tail, size })
+    }
+
+    /// Number of elements.
+    pub fn len<M: Mem>(&self, m: &mut M) -> TxResult<u64> {
+        m.read(self.size)
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty<M: Mem>(&self, m: &mut M) -> TxResult<bool> {
+        Ok(self.len(m)? == 0)
+    }
+
+    /// Append `value`.
+    pub fn push_back<M: Mem>(&self, m: &mut M, value: u64) -> TxResult<()> {
+        let node = m.alloc_padded(NODE_WORDS);
+        m.init(node.offset(NEXT), WordAddr::NULL.0)?;
+        m.init(node.offset(VALUE), value)?;
+        let tail = WordAddr(m.read(self.tail)?);
+        m.write(tail.offset(NEXT), node.0)?;
+        m.write(self.tail, node.0)?;
+        let n = m.read(self.size)?;
+        m.write(self.size, n + 1)?;
+        Ok(())
+    }
+
+    /// Remove and return the oldest element, or `None` if empty.
+    pub fn pop_front<M: Mem>(&self, m: &mut M) -> TxResult<Option<u64>> {
+        let sentinel = WordAddr(m.read(self.head)?);
+        let first = WordAddr(m.read(sentinel.offset(NEXT))?);
+        if first.is_null() {
+            return Ok(None);
+        }
+        let value = m.read(first.offset(VALUE))?;
+        // The popped node becomes the new sentinel (its value is dead),
+        // so the tail pointer stays valid even when the queue drains.
+        m.write(self.head, first.0)?;
+        let n = m.read(self.size)?;
+        m.write(self.size, n - 1)?;
+        Ok(Some(value))
+    }
+
+    /// Drain into a `Vec` (setup/verification helper).
+    pub fn drain_to_vec<M: Mem>(&self, m: &mut M) -> TxResult<Vec<u64>> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop_front(m)? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::SetupMem;
+    use tm::TmHeap;
+
+    #[test]
+    fn fifo_order() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let q = TmQueue::create(&mut m).unwrap();
+        assert!(q.is_empty(&mut m).unwrap());
+        for i in 0..10u64 {
+            q.push_back(&mut m, i).unwrap();
+        }
+        assert_eq!(q.len(&mut m).unwrap(), 10);
+        assert_eq!(q.drain_to_vec(&mut m).unwrap(), (0..10).collect::<Vec<_>>());
+        assert!(q.is_empty(&mut m).unwrap());
+        assert_eq!(q.pop_front(&mut m).unwrap(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let q = TmQueue::create(&mut m).unwrap();
+        q.push_back(&mut m, 1).unwrap();
+        q.push_back(&mut m, 2).unwrap();
+        assert_eq!(q.pop_front(&mut m).unwrap(), Some(1));
+        q.push_back(&mut m, 3).unwrap();
+        assert_eq!(q.pop_front(&mut m).unwrap(), Some(2));
+        assert_eq!(q.pop_front(&mut m).unwrap(), Some(3));
+        assert_eq!(q.pop_front(&mut m).unwrap(), None);
+        // Queue is reusable after draining.
+        q.push_back(&mut m, 4).unwrap();
+        assert_eq!(q.pop_front(&mut m).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        use tm::{SystemKind, TmConfig, TmRuntime};
+        for sys in [SystemKind::EagerStm, SystemKind::LazyHtm] {
+            let rt = TmRuntime::new(TmConfig::new(sys, 4));
+            let q = {
+                let mut m = SetupMem::new(rt.heap());
+                TmQueue::create(&mut m).unwrap()
+            };
+            let popped_sum = rt.heap().alloc_cell(0u64);
+            rt.run(|ctx| {
+                let tid = ctx.tid() as u64;
+                if tid < 2 {
+                    // Producers: 50 items each.
+                    for i in 0..50u64 {
+                        ctx.atomic(|txn| q.push_back(txn, tid * 1000 + i));
+                    }
+                } else {
+                    // Consumers: pop until we got 50 items each.
+                    let mut got = 0;
+                    let mut local = 0u64;
+                    while got < 50 {
+                        if let Some(v) = ctx.atomic(|txn| q.pop_front(txn)) {
+                            local += v;
+                            got += 1;
+                        } else {
+                            ctx.work(50);
+                        }
+                    }
+                    ctx.atomic(|txn| {
+                        let s = txn.read(&popped_sum)?;
+                        txn.write(&popped_sum, s + local)
+                    });
+                }
+            });
+            let mut m = SetupMem::new(rt.heap());
+            assert!(q.is_empty(&mut m).unwrap(), "under {sys}");
+            let expect: u64 = (0..50).sum::<u64>() + (0..50u64).map(|i| 1000 + i).sum::<u64>();
+            assert_eq!(rt.heap().load_cell(&popped_sum), expect, "under {sys}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A growable array — the counterpart of STAMP's `lib/vector.c`.
+//!
+//! Header: `[data_ptr, capacity, size]`. Growth allocates a fresh buffer
+//! and copies transactionally, so a growing push conflicts with every
+//! concurrent reader — as it would in the C version.
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+
+use crate::mem::Mem;
+
+const DATA: u64 = 0;
+const CAP: u64 = 1;
+const SIZE: u64 = 2;
+
+/// A transactional growable vector of words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmVector {
+    header: WordAddr,
+}
+
+impl TmVector {
+    /// Create an empty vector with the given initial capacity (≥ 1).
+    pub fn create<M: Mem>(m: &mut M, capacity: u64) -> TxResult<TmVector> {
+        let capacity = capacity.max(1);
+        let header = m.alloc(3);
+        let data = m.alloc(capacity);
+        m.init(header.offset(DATA), data.0)?;
+        m.init(header.offset(CAP), capacity)?;
+        m.init(header.offset(SIZE), 0)?;
+        Ok(TmVector { header })
+    }
+
+    /// Number of elements.
+    pub fn len<M: Mem>(&self, m: &mut M) -> TxResult<u64> {
+        m.read(self.header.offset(SIZE))
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty<M: Mem>(&self, m: &mut M) -> TxResult<bool> {
+        Ok(self.len(m)? == 0)
+    }
+
+    /// Append `value`, growing if needed.
+    pub fn push<M: Mem>(&self, m: &mut M, value: u64) -> TxResult<()> {
+        let size = m.read(self.header.offset(SIZE))?;
+        let cap = m.read(self.header.offset(CAP))?;
+        let mut data = WordAddr(m.read(self.header.offset(DATA))?);
+        if size == cap {
+            let new_cap = cap * 2;
+            let new_data = m.alloc(new_cap);
+            for i in 0..size {
+                let v = m.read(data.offset(i))?;
+                m.init(new_data.offset(i), v)?;
+            }
+            m.write(self.header.offset(DATA), new_data.0)?;
+            m.write(self.header.offset(CAP), new_cap)?;
+            data = new_data;
+        }
+        m.write(data.offset(size), value)?;
+        m.write(self.header.offset(SIZE), size + 1)?;
+        Ok(())
+    }
+
+    /// Remove and return the last element.
+    pub fn pop<M: Mem>(&self, m: &mut M) -> TxResult<Option<u64>> {
+        let size = m.read(self.header.offset(SIZE))?;
+        if size == 0 {
+            return Ok(None);
+        }
+        let data = WordAddr(m.read(self.header.offset(DATA))?);
+        let v = m.read(data.offset(size - 1))?;
+        m.write(self.header.offset(SIZE), size - 1)?;
+        Ok(Some(v))
+    }
+
+    /// Element at `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts the transaction on out-of-bounds access (a doomed
+    /// transaction may compute garbage indices; see the engine docs).
+    pub fn get<M: Mem>(&self, m: &mut M, idx: u64) -> TxResult<u64> {
+        let size = m.read(self.header.offset(SIZE))?;
+        if idx >= size {
+            return tm::txn::abort();
+        }
+        let data = WordAddr(m.read(self.header.offset(DATA))?);
+        m.read(data.offset(idx))
+    }
+
+    /// Overwrite element at `idx`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TmVector::get`].
+    pub fn set<M: Mem>(&self, m: &mut M, idx: u64, value: u64) -> TxResult<()> {
+        let size = m.read(self.header.offset(SIZE))?;
+        if idx >= size {
+            return tm::txn::abort();
+        }
+        let data = WordAddr(m.read(self.header.offset(DATA))?);
+        m.write(data.offset(idx), value)
+    }
+
+    /// Clear (size = 0; capacity retained).
+    pub fn clear<M: Mem>(&self, m: &mut M) -> TxResult<()> {
+        m.write(self.header.offset(SIZE), 0)
+    }
+
+    /// Copy out all elements (setup/verification helper).
+    pub fn to_vec<M: Mem>(&self, m: &mut M) -> TxResult<Vec<u64>> {
+        let size = m.read(self.header.offset(SIZE))?;
+        let data = WordAddr(m.read(self.header.offset(DATA))?);
+        let mut out = Vec::with_capacity(size as usize);
+        for i in 0..size {
+            out.push(m.read(data.offset(i))?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::SetupMem;
+    use tm::TmHeap;
+
+    #[test]
+    fn push_pop_get_set() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let v = TmVector::create(&mut m, 2).unwrap();
+        for i in 0..20u64 {
+            v.push(&mut m, i).unwrap(); // forces several growths
+        }
+        assert_eq!(v.len(&mut m).unwrap(), 20);
+        assert_eq!(v.get(&mut m, 7).unwrap(), 7);
+        v.set(&mut m, 7, 70).unwrap();
+        assert_eq!(v.get(&mut m, 7).unwrap(), 70);
+        assert_eq!(v.pop(&mut m).unwrap(), Some(19));
+        assert_eq!(v.len(&mut m).unwrap(), 19);
+        assert_eq!(v.to_vec(&mut m).unwrap()[7], 70);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let heap = TmHeap::new();
+        let mut m = SetupMem::new(&heap);
+        let v = TmVector::create(&mut m, 1).unwrap();
+        assert_eq!(v.pop(&mut m).unwrap(), None);
+        v.push(&mut m, 5).unwrap();
+        v.clear(&mut m).unwrap();
+        assert_eq!(v.pop(&mut m).unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing() {
+        use tm::{SystemKind, TmConfig, TmRuntime};
+        let rt = TmRuntime::new(TmConfig::new(SystemKind::EagerStm, 4));
+        let v = {
+            let mut m = SetupMem::new(rt.heap());
+            TmVector::create(&mut m, 1).unwrap()
+        };
+        rt.run(|ctx| {
+            let tid = ctx.tid() as u64;
+            for i in 0..25u64 {
+                ctx.atomic(|txn| v.push(txn, tid * 100 + i));
+            }
+        });
+        let mut m = SetupMem::new(rt.heap());
+        let mut all = v.to_vec(&mut m).unwrap();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..25u64).map(move |i| t * 100 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

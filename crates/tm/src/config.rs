@@ -1,0 +1,552 @@
+//! Runtime configuration: which TM system to model, how many logical
+//! processors, and the machine cost model of Table V.
+
+/// The six TM system designs evaluated in the STAMP paper (§IV), plus a
+/// sequential baseline used for speedup normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Uninstrumented single-thread execution; the baseline of Figure 1.
+    Sequential,
+    /// TCC-style HTM: lazy versioning in cache, commit-time conflict
+    /// detection at line granularity via coherence, overflow serializes
+    /// transaction execution, immediate restart with no backoff.
+    LazyHtm,
+    /// LogTM-style HTM: eager versioning (undo log), encounter-time
+    /// conflict detection at line granularity, requester loses, no
+    /// backoff, priority promotion after 32 aborts, overflowed addresses
+    /// tracked in a 2048-bit Bloom filter (false positives possible).
+    EagerHtm,
+    /// TL2: lazy versioning in a software write buffer, commit-time
+    /// locking, word-granularity conflict detection, randomized linear
+    /// backoff after 3 aborts, weak isolation.
+    LazyStm,
+    /// Eager TL2 variant: undo log, encounter-time write locking,
+    /// otherwise as [`SystemKind::LazyStm`].
+    EagerStm,
+    /// SigTM-style hybrid: software lazy versioning, hardware signature
+    /// conflict detection at line granularity, strong isolation,
+    /// randomized linear backoff.
+    LazyHybrid,
+    /// Eager hybrid: software undo log with signature conflict detection
+    /// at line granularity, strong isolation, randomized linear backoff.
+    EagerHybrid,
+    /// Extension (not one of the paper's six): coarse-grain global-lock
+    /// execution — every "transaction" holds one global lock. The
+    /// lock-based strawman the paper's introduction argues TM should
+    /// beat.
+    GlobalLock,
+}
+
+impl SystemKind {
+    /// All six TM systems, in the paper's presentation order.
+    pub const ALL_TM: [SystemKind; 6] = [
+        SystemKind::EagerHtm,
+        SystemKind::LazyHtm,
+        SystemKind::EagerHybrid,
+        SystemKind::LazyHybrid,
+        SystemKind::EagerStm,
+        SystemKind::LazyStm,
+    ];
+
+    /// Short label used in reports (matches Figure 1's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Sequential => "Sequential",
+            SystemKind::LazyHtm => "Lazy HTM",
+            SystemKind::EagerHtm => "Eager HTM",
+            SystemKind::LazyStm => "Lazy STM",
+            SystemKind::EagerStm => "Eager STM",
+            SystemKind::LazyHybrid => "Lazy Hybrid",
+            SystemKind::EagerHybrid => "Eager Hybrid",
+            SystemKind::GlobalLock => "Global Lock",
+        }
+    }
+
+    /// Parse a label such as `lazy-stm` or `EagerHtm`.
+    pub fn parse(s: &str) -> Option<SystemKind> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "seq" | "sequential" => SystemKind::Sequential,
+            "lazyhtm" => SystemKind::LazyHtm,
+            "eagerhtm" => SystemKind::EagerHtm,
+            "lazystm" => SystemKind::LazyStm,
+            "eagerstm" => SystemKind::EagerStm,
+            "lazyhybrid" => SystemKind::LazyHybrid,
+            "eagerhybrid" => SystemKind::EagerHybrid,
+            "lock" | "globallock" | "coarselock" => SystemKind::GlobalLock,
+            _ => return None,
+        })
+    }
+
+    /// Whether barriers are implicit (performed by hardware, costing no
+    /// extra instructions). True for the HTMs: the paper compiles the HTM
+    /// versions with read/write barrier annotations ignored.
+    pub fn implicit_barriers(self) -> bool {
+        matches!(self, SystemKind::LazyHtm | SystemKind::EagerHtm)
+    }
+
+    /// Whether versioning is eager (undo log, in-place writes).
+    pub fn eager_versioning(self) -> bool {
+        matches!(
+            self,
+            SystemKind::EagerHtm | SystemKind::EagerStm | SystemKind::EagerHybrid
+        )
+    }
+
+    /// Whether the system supports early release (§III-B5). The STMs do
+    /// not need it (the apps simply skip read barriers on privatized
+    /// copies); the HTMs require it; the hybrids support it through
+    /// signatures only approximately, so the apps treat them like STMs.
+    pub fn needs_early_release(self) -> bool {
+        self.implicit_barriers()
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Conflict-detection granularity for the STM systems (the HTMs and
+/// hybrids are always line-granularity, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// 8-byte word granularity — the paper's STM configuration.
+    #[default]
+    Word,
+    /// 32-byte line granularity — the ablation showing why the STMs beat
+    /// the HTMs on bayes.
+    Line,
+}
+
+/// Contention-management policy applied between retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffPolicy {
+    /// Restart immediately (the paper's HTM design point).
+    None,
+    /// Randomized linear backoff once a transaction has aborted at least
+    /// `after` times (the paper's STM/hybrid policy with `after == 3`).
+    RandomizedLinear {
+        /// Number of aborts before backoff engages.
+        after: u32,
+        /// Base delay in cycles; the delay is uniform in
+        /// `0..base * (retries - after + 1)`.
+        base: u64,
+    },
+    /// Randomized exponential backoff (a contention-management policy
+    /// the paper's §V-A invites evaluating): delay uniform in
+    /// `0..base * 2^min(retries - after, max_exp)`.
+    ExponentialRandom {
+        /// Number of aborts before backoff engages.
+        after: u32,
+        /// Base delay in cycles.
+        base: u64,
+        /// Cap on the exponent.
+        max_exp: u32,
+    },
+}
+
+/// How the eager HTM resolves an encounter-time conflict when the
+/// requester does not hold the priority token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HtmConflictPolicy {
+    /// The requester loses, aborts, and restarts immediately — the
+    /// paper's design point (§IV).
+    #[default]
+    RequesterAborts,
+    /// The requester stalls (bounded) waiting for the conflict to
+    /// clear, aborting only on timeout — LogTM's actual behaviour,
+    /// simplified with a bounded wait instead of cycle detection. The
+    /// `ablation_stall` harness compares the two.
+    RequesterStalls,
+}
+
+/// Geometry of the modeled private L1 cache (Table V: 64 KB, 4-way, 32 B
+/// lines). This bounds HTM speculative-state capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// The L1 of Table V.
+    pub const fn table_v_l1() -> Self {
+        CacheGeometry {
+            size_bytes: 64 * 1024,
+            assoc: 4,
+            line_bytes: 32,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Set index for a line address.
+    ///
+    /// Uses a hashed index rather than the raw low bits: the simulated
+    /// bump allocator lays objects out at perfectly regular line
+    /// strides, which would alias whole data structures into a handful
+    /// of sets — an artifact a real `malloc`ed address space does not
+    /// have. Hashing restores a realistic set distribution for the HTM
+    /// capacity model.
+    pub fn set_of(&self, line: u64) -> u64 {
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % self.sets()
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        Self::table_v_l1()
+    }
+}
+
+/// Cycle costs of the modeled machine and of each TM system's barriers.
+///
+/// Memory latencies come from Table V of the paper. Barrier overheads are
+/// modeled constants chosen to reproduce the paper's reported ratios: HTM
+/// barriers are free (implicit), STM read barriers are the most expensive
+/// (the paper notes the lazy STM read barrier must search the write
+/// buffer), hybrids sit in between because signatures replace software
+/// read-set bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// L1 hit latency (cycles).
+    pub l1_hit: u64,
+    /// Shared L2 hit latency (cycles).
+    pub l2_hit: u64,
+    /// Off-chip memory latency (cycles).
+    pub mem: u64,
+    /// Lazy STM read barrier overhead (write-buffer lookup + two lock
+    /// reads + validation).
+    pub stm_lazy_read: u64,
+    /// Eager STM read barrier overhead (lock read + validation; no
+    /// write-buffer search, hence cheaper — §V-B4).
+    pub stm_eager_read: u64,
+    /// Lazy STM write barrier overhead (write-buffer append).
+    pub stm_lazy_write: u64,
+    /// Eager STM write barrier overhead (lock CAS + undo-log append).
+    pub stm_eager_write: u64,
+    /// Hybrid read barrier overhead (signature insert).
+    pub hybrid_read: u64,
+    /// Hybrid write barrier overhead.
+    pub hybrid_write: u64,
+    /// Per-write-set-entry commit cost for lazy *software* systems
+    /// (lock + copy back).
+    pub commit_per_write: u64,
+    /// Per-line commit cost for the lazy HTM (hardware burst commit
+    /// through the coherence protocol).
+    pub htm_commit_per_line: u64,
+    /// Per-read-set-entry validation cost at commit (STMs).
+    pub commit_per_read: u64,
+    /// Fixed transaction begin/commit overhead.
+    pub txn_fixed: u64,
+    /// Per-undo-entry rollback cost on abort for eager systems (the
+    /// paper stresses that aborts are expensive with eager versioning).
+    pub abort_per_undo: u64,
+    /// Fixed abort overhead.
+    pub abort_fixed: u64,
+}
+
+impl CostModel {
+    /// The configuration used throughout the paper's evaluation.
+    pub const fn table_v() -> Self {
+        CostModel {
+            l1_hit: 1,
+            l2_hit: 12,
+            mem: 100,
+            stm_lazy_read: 22,
+            stm_eager_read: 12,
+            stm_lazy_write: 10,
+            stm_eager_write: 24,
+            hybrid_read: 5,
+            hybrid_write: 7,
+            commit_per_write: 8,
+            htm_commit_per_line: 2,
+            commit_per_read: 3,
+            txn_fixed: 30,
+            abort_per_undo: 10,
+            abort_fixed: 40,
+        }
+    }
+
+    /// Read barrier overhead for `system` (excluding the memory access
+    /// itself).
+    pub fn read_barrier(&self, system: SystemKind) -> u64 {
+        match system {
+            SystemKind::Sequential
+            | SystemKind::GlobalLock
+            | SystemKind::LazyHtm
+            | SystemKind::EagerHtm => 0,
+            SystemKind::LazyStm => self.stm_lazy_read,
+            SystemKind::EagerStm => self.stm_eager_read,
+            SystemKind::LazyHybrid | SystemKind::EagerHybrid => self.hybrid_read,
+        }
+    }
+
+    /// Fixed begin+commit overhead for `system`: nearly free in
+    /// hardware, a library call for the software systems.
+    pub fn txn_fixed_for(&self, system: SystemKind) -> u64 {
+        match system {
+            SystemKind::Sequential => 0,
+            SystemKind::GlobalLock => 10, // lock acquire/release
+
+            SystemKind::LazyHtm | SystemKind::EagerHtm => 3,
+            SystemKind::LazyHybrid | SystemKind::EagerHybrid => self.txn_fixed / 2,
+            SystemKind::LazyStm | SystemKind::EagerStm => self.txn_fixed,
+        }
+    }
+
+    /// Write barrier overhead for `system`.
+    pub fn write_barrier(&self, system: SystemKind) -> u64 {
+        match system {
+            SystemKind::Sequential
+            | SystemKind::GlobalLock
+            | SystemKind::LazyHtm
+            | SystemKind::EagerHtm => 0,
+            SystemKind::LazyStm => self.stm_lazy_write,
+            SystemKind::EagerStm => self.stm_eager_write,
+            SystemKind::LazyHybrid => self.hybrid_write,
+            SystemKind::EagerHybrid => self.hybrid_write,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::table_v()
+    }
+}
+
+/// Complete configuration for a [`crate::runtime::TmRuntime`].
+///
+/// Build one with [`TmConfig::new`] and the chainable setters:
+///
+/// ```
+/// use tm::{TmConfig, SystemKind};
+///
+/// let cfg = TmConfig::new(SystemKind::LazyStm, 4).quantum(200).seed(7);
+/// assert_eq!(cfg.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TmConfig {
+    /// Which TM design to model.
+    pub system: SystemKind,
+    /// Number of logical processors (threads).
+    pub threads: usize,
+    /// Run under the time-ordered simulation scheduler (default). When
+    /// false, threads free-run and only wall-clock time is meaningful.
+    pub simulate: bool,
+    /// Scheduler quantum in cycles: a thread may run at most this far
+    /// ahead of the slowest runnable thread.
+    pub quantum: u64,
+    /// Machine + barrier cost model.
+    pub cost: CostModel,
+    /// log2 of the STM versioned-lock table size.
+    pub lock_table_bits: u32,
+    /// STM conflict-detection granularity.
+    pub stm_granularity: Granularity,
+    /// Modeled private L1 (capacity bound for HTM speculative state).
+    pub l1: CacheGeometry,
+    /// Model L1 hits/misses with a real tag array (slower, used by the
+    /// characterization harness); otherwise every access costs `l1_hit`.
+    pub cache_sim: bool,
+    /// Signature size in bits for the hybrids and the eager HTM's
+    /// overflow filter (Table V: 2048).
+    pub signature_bits: usize,
+    /// Backoff policy override; `None` selects the paper's policy for
+    /// the configured system.
+    pub backoff: Option<BackoffPolicy>,
+    /// Number of aborts after which an eager-HTM transaction is promoted
+    /// to high priority (the paper's livelock guard: 32).
+    pub htm_priority_after: u32,
+    /// Eager-HTM conflict resolution (abort vs bounded stall).
+    pub htm_conflict: HtmConflictPolicy,
+    /// Seed for the per-thread backoff RNGs.
+    pub seed: u64,
+}
+
+impl TmConfig {
+    /// A configuration for `system` with `threads` logical processors and
+    /// the paper's defaults for everything else.
+    pub fn new(system: SystemKind, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread required");
+        assert!(
+            threads <= 32,
+            "the line directory supports up to 32 threads"
+        );
+        TmConfig {
+            system,
+            threads,
+            simulate: true,
+            quantum: 500,
+            cost: CostModel::table_v(),
+            lock_table_bits: 20,
+            stm_granularity: Granularity::Word,
+            l1: CacheGeometry::table_v_l1(),
+            cache_sim: false,
+            signature_bits: 2048,
+            backoff: None,
+            htm_priority_after: 32,
+            htm_conflict: HtmConflictPolicy::default(),
+            seed: 0x5eed_cafe,
+        }
+    }
+
+    /// A sequential-baseline configuration.
+    pub fn sequential() -> Self {
+        TmConfig::new(SystemKind::Sequential, 1)
+    }
+
+    /// Set the scheduler quantum.
+    pub fn quantum(mut self, q: u64) -> Self {
+        self.quantum = q;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the time-ordered scheduler.
+    pub fn simulate(mut self, on: bool) -> Self {
+        self.simulate = on;
+        self
+    }
+
+    /// Enable the L1 tag-array model.
+    pub fn cache_sim(mut self, on: bool) -> Self {
+        self.cache_sim = on;
+        self
+    }
+
+    /// Override the STM conflict-detection granularity.
+    pub fn stm_granularity(mut self, g: Granularity) -> Self {
+        self.stm_granularity = g;
+        self
+    }
+
+    /// Override the backoff policy.
+    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = Some(policy);
+        self
+    }
+
+    /// Set the eager-HTM conflict-resolution policy.
+    pub fn htm_conflict(mut self, policy: HtmConflictPolicy) -> Self {
+        self.htm_conflict = policy;
+        self
+    }
+
+    /// Override the signature size (bits); must be a power of two ≥ 64.
+    pub fn signature_bits(mut self, bits: usize) -> Self {
+        assert!(bits.is_power_of_two() && bits >= 64);
+        self.signature_bits = bits;
+        self
+    }
+
+    /// The effective backoff policy: the override if set, otherwise the
+    /// paper's policy for the configured system.
+    pub fn effective_backoff(&self) -> BackoffPolicy {
+        if let Some(p) = self.backoff {
+            return p;
+        }
+        match self.system {
+            SystemKind::Sequential
+            | SystemKind::GlobalLock
+            | SystemKind::LazyHtm
+            | SystemKind::EagerHtm => BackoffPolicy::None,
+            SystemKind::LazyStm
+            | SystemKind::EagerStm
+            | SystemKind::LazyHybrid
+            | SystemKind::EagerHybrid => BackoffPolicy::RandomizedLinear {
+                after: 3,
+                base: 200,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labels() {
+        assert_eq!(SystemKind::parse("lazy-stm"), Some(SystemKind::LazyStm));
+        assert_eq!(SystemKind::parse("EagerHTM"), Some(SystemKind::EagerHtm));
+        assert_eq!(
+            SystemKind::parse("lazy hybrid"),
+            Some(SystemKind::LazyHybrid)
+        );
+        assert_eq!(SystemKind::parse("seq"), Some(SystemKind::Sequential));
+        assert_eq!(SystemKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn table_v_l1_geometry() {
+        let l1 = CacheGeometry::table_v_l1();
+        assert_eq!(l1.sets(), 512);
+        assert_eq!(l1.lines(), 2048);
+        // Hashed index: in range, deterministic, and spreading
+        // regular strides across many sets.
+        let sets: std::collections::HashSet<u64> = (0..512u64).map(|i| l1.set_of(i * 8)).collect();
+        assert!(sets.len() > 300, "stride-8 lines alias: {}", sets.len());
+        assert!((0..2048).all(|l| l1.set_of(l) < 512));
+        assert_eq!(l1.set_of(77), l1.set_of(77));
+    }
+
+    #[test]
+    fn htm_barriers_are_free() {
+        let c = CostModel::table_v();
+        assert_eq!(c.read_barrier(SystemKind::LazyHtm), 0);
+        assert_eq!(c.write_barrier(SystemKind::EagerHtm), 0);
+        assert!(c.read_barrier(SystemKind::LazyStm) > c.read_barrier(SystemKind::LazyHybrid));
+        // §V-B4: the lazy STM read barrier is dearer than the eager one.
+        assert!(c.read_barrier(SystemKind::LazyStm) > c.read_barrier(SystemKind::EagerStm));
+    }
+
+    #[test]
+    fn default_backoff_matches_paper() {
+        assert_eq!(
+            TmConfig::new(SystemKind::LazyHtm, 2).effective_backoff(),
+            BackoffPolicy::None
+        );
+        assert!(matches!(
+            TmConfig::new(SystemKind::LazyStm, 2).effective_backoff(),
+            BackoffPolicy::RandomizedLinear { after: 3, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = TmConfig::new(SystemKind::LazyStm, 0);
+    }
+
+    #[test]
+    fn implicit_barrier_systems() {
+        assert!(SystemKind::LazyHtm.implicit_barriers());
+        assert!(SystemKind::EagerHtm.implicit_barriers());
+        assert!(!SystemKind::LazyHybrid.implicit_barriers());
+        assert!(!SystemKind::EagerStm.implicit_barriers());
+    }
+}

@@ -1,0 +1,410 @@
+//! The TM runtime: global system state, per-thread execution contexts,
+//! and the fork-join entry point that runs an application phase on the
+//! simulated machine.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::addr::{LineAddr, WordAddr};
+use crate::cache::CacheModel;
+use crate::config::{SystemKind, TmConfig};
+use crate::directory::Directory;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::heap::{TCell, TmHeap, TmValue};
+use crate::locks::{GlobalClock, LockTable};
+use crate::signature::Signature;
+use crate::sim::{Scheduler, SimBarrier, SimMutex, XorShift64, FLUSH_CYCLES};
+use crate::stats::{RunStats, ThreadStats};
+use crate::txn::TxnState;
+
+/// Sentinel for "no thread holds the eager-HTM priority token".
+pub(crate) const NO_PRIORITY: usize = usize::MAX;
+
+/// Global TM system state shared by all logical threads of a run.
+pub(crate) struct Global {
+    pub config: TmConfig,
+    pub heap: Arc<TmHeap>,
+    pub clock: GlobalClock,
+    pub locks: LockTable,
+    pub directory: Directory,
+    /// Per-thread doom flags (set by committers/priority holders).
+    pub doomed: Vec<CachePadded<AtomicBool>>,
+    /// Per-thread "inside a transaction" flags (observed by conflict
+    /// scans).
+    pub active: Vec<CachePadded<AtomicBool>>,
+    /// Per-thread read signatures (hybrids).
+    pub read_sigs: Vec<Signature>,
+    /// Per-thread write signatures (hybrids).
+    pub write_sigs: Vec<Signature>,
+    /// Per-thread overflow Bloom filters (eager HTM).
+    pub overflow_sigs: Vec<Signature>,
+    /// Global commit token: serializes lazy commits and lazy-HTM
+    /// overflow mode.
+    pub commit_token: SimMutex,
+    /// Eager-HTM priority token holder.
+    pub priority: AtomicUsize,
+    /// Monotonic transaction-timestamp source (eager-HTM stall policy's
+    /// deadlock avoidance).
+    pub ts_counter: std::sync::atomic::AtomicU64,
+    /// Per-thread timestamp of the current transaction attempt.
+    pub txn_ts: Vec<CachePadded<std::sync::atomic::AtomicU64>>,
+    pub scheduler: Scheduler,
+}
+
+impl Global {
+    fn new(config: TmConfig, heap: Arc<TmHeap>) -> Self {
+        let n = config.threads;
+        let sig_bits = config.signature_bits;
+        Global {
+            clock: GlobalClock::new(),
+            locks: LockTable::new(config.lock_table_bits, config.stm_granularity),
+            directory: Directory::new(),
+            doomed: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            active: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            read_sigs: (0..n).map(|_| Signature::new(sig_bits)).collect(),
+            write_sigs: (0..n).map(|_| Signature::new(sig_bits)).collect(),
+            overflow_sigs: (0..n).map(|_| Signature::new(sig_bits)).collect(),
+            commit_token: SimMutex::new(),
+            priority: AtomicUsize::new(NO_PRIORITY),
+            ts_counter: std::sync::atomic::AtomicU64::new(1),
+            txn_ts: (0..n)
+                .map(|_| CachePadded::new(std::sync::atomic::AtomicU64::new(u64::MAX)))
+                .collect(),
+            scheduler: Scheduler::new(n, config.quantum, config.simulate),
+            heap,
+            config,
+        }
+    }
+}
+
+/// Result of a [`TmRuntime::run`] phase.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The system the phase ran on.
+    pub system: SystemKind,
+    /// Logical threads used.
+    pub threads: usize,
+    /// Simulated makespan: the maximum per-thread cycle count.
+    pub sim_cycles: u64,
+    /// Host wall-clock time of the phase.
+    pub wall: Duration,
+    /// Aggregated transactional statistics.
+    pub stats: RunStats,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a baseline's simulated cycles.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        if self.sim_cycles == 0 {
+            0.0
+        } else {
+            baseline.sim_cycles as f64 / self.sim_cycles as f64
+        }
+    }
+}
+
+/// The TM runtime for one application execution: owns the heap and the
+/// global machinery for the configured system and thread count.
+///
+/// Typical use: allocate and initialize application state through
+/// [`TmRuntime::heap`], then call [`TmRuntime::run`] with the per-thread
+/// body, and read back results through the heap.
+pub struct TmRuntime {
+    config: TmConfig,
+    heap: Arc<TmHeap>,
+}
+
+impl TmRuntime {
+    /// Create a runtime with a fresh heap.
+    pub fn new(config: TmConfig) -> Self {
+        let heap = Arc::new(TmHeap::new());
+        TmRuntime { config, heap }
+    }
+
+    /// The configuration this runtime models.
+    pub fn config(&self) -> &TmConfig {
+        &self.config
+    }
+
+    /// The transactional heap (for setup/verification phases).
+    pub fn heap(&self) -> &Arc<TmHeap> {
+        &self.heap
+    }
+
+    /// A phase barrier sized for this runtime's thread count.
+    pub fn new_barrier(&self) -> Arc<SimBarrier> {
+        Arc::new(SimBarrier::new(self.config.threads))
+    }
+
+    /// Run one parallel phase: `body(ctx)` executes once on each of the
+    /// configured logical threads. Returns the simulated makespan and
+    /// aggregated statistics.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the body (after all threads join).
+    pub fn run<F>(&self, body: F) -> RunReport
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        // A fresh global per phase keeps scheduler clocks and stats
+        // independent across phases while reusing heap contents.
+        let global = Arc::new(Global::new(self.config.clone(), self.heap.clone()));
+        let n = self.config.threads;
+        let collected: Mutex<Vec<ThreadStats>> = Mutex::new(Vec::with_capacity(n));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for tid in 0..n {
+                let global = global.clone();
+                let body = &body;
+                let collected = &collected;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = ThreadCtx::new(tid, global);
+                    // Catch body panics so the scheduler releases the
+                    // other logical threads instead of deadlocking the
+                    // scope; the panic is re-raised after cleanup.
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                    ctx.pending = 0;
+                    ctx.global.scheduler.done(tid);
+                    if let Err(payload) = outcome {
+                        std::panic::resume_unwind(payload);
+                    }
+                    ctx.stats.total_cycles = ctx.clock;
+                    if let Some((accesses, misses)) = ctx.cache_stats() {
+                        ctx.stats.mem_accesses = accesses;
+                        ctx.stats.mem_misses = misses;
+                    }
+                    collected.lock().push(ctx.stats);
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        });
+        let wall = start.elapsed();
+        let threads_stats = collected.into_inner();
+        let mut stats = RunStats::default();
+        let mut sim_cycles = 0;
+        for t in &threads_stats {
+            stats.absorb(t);
+            sim_cycles = sim_cycles.max(t.total_cycles);
+        }
+        RunReport {
+            system: self.config.system,
+            threads: n,
+            sim_cycles,
+            wall,
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for TmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmRuntime")
+            .field("system", &self.config.system)
+            .field("threads", &self.config.threads)
+            .finish()
+    }
+}
+
+/// Per-logical-thread execution context, handed to the body of
+/// [`TmRuntime::run`].
+///
+/// Provides transactional execution ([`ThreadCtx::atomic`]), costed
+/// non-transactional memory access, application-work accounting
+/// ([`ThreadCtx::work`]), and phase barriers.
+pub struct ThreadCtx {
+    pub(crate) tid: usize,
+    pub(crate) global: Arc<Global>,
+    /// Total simulated cycles of this thread (published + pending).
+    pub(crate) clock: u64,
+    /// Cycles not yet published to the scheduler.
+    pub(crate) pending: u64,
+    pub(crate) rng: XorShift64,
+    pub(crate) cache: Option<CacheModel>,
+    pub(crate) stats: ThreadStats,
+    pub(crate) txn: TxnState,
+    pub(crate) in_txn: bool,
+    pub(crate) has_priority: bool,
+}
+
+impl ThreadCtx {
+    fn new(tid: usize, global: Arc<Global>) -> Self {
+        let cache = global
+            .config
+            .cache_sim
+            .then(|| CacheModel::new(global.config.l1));
+        let seed = global.config.seed ^ ((tid as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
+        ThreadCtx {
+            tid,
+            global,
+            clock: 0,
+            pending: 0,
+            rng: XorShift64::new(seed),
+            cache,
+            stats: ThreadStats::default(),
+            txn: TxnState::default(),
+            in_txn: false,
+            has_priority: false,
+        }
+    }
+
+    /// This thread's id in `0..threads`.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of logical threads in the run.
+    pub fn threads(&self) -> usize {
+        self.global.config.threads
+    }
+
+    /// The system being modeled.
+    pub fn system(&self) -> SystemKind {
+        self.global.config.system
+    }
+
+    /// The transactional heap.
+    pub fn heap(&self) -> &TmHeap {
+        &self.global.heap
+    }
+
+    /// Current simulated clock of this thread.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Charge `cycles` of application work (computation between memory
+    /// accesses).
+    pub fn work(&mut self, cycles: u64) {
+        self.charge_app(cycles);
+    }
+
+    #[inline]
+    pub(crate) fn charge_app(&mut self, cycles: u64) {
+        if self.in_txn {
+            self.txn.app_cycles += cycles;
+        }
+        self.advance(cycles);
+    }
+
+    #[inline]
+    pub(crate) fn charge_tm(&mut self, cycles: u64) {
+        self.advance(cycles);
+    }
+
+    #[inline]
+    pub(crate) fn advance(&mut self, cycles: u64) {
+        self.clock += cycles;
+        self.pending += cycles;
+        if self.pending >= FLUSH_CYCLES {
+            self.flush();
+        }
+    }
+
+    /// Publish pending cycles to the scheduler (possibly blocking while
+    /// this thread is ahead of the pack). Must not be called while
+    /// holding any lock.
+    pub(crate) fn flush(&mut self) {
+        if self.pending > 0 {
+            let pending = self.pending;
+            self.pending = 0;
+            self.global.scheduler.advance(self.tid, pending);
+        }
+    }
+
+    /// The memory-latency cost of accessing `line`, consulting the L1
+    /// model when enabled.
+    #[inline]
+    pub(crate) fn mem_cost(&mut self, line: LineAddr) -> u64 {
+        let cost = &self.global.config.cost;
+        match &mut self.cache {
+            Some(cache) => {
+                if cache.access(line.0) {
+                    cost.l1_hit
+                } else {
+                    cost.l2_hit
+                }
+            }
+            None => cost.l1_hit,
+        }
+    }
+
+    /// Costed non-transactional load (private or setup data during a
+    /// run).
+    pub fn load<T: TmValue>(&mut self, cell: &TCell<T>) -> T {
+        let addr = cell.addr();
+        let c = self.mem_cost(addr.line());
+        self.charge_app(c);
+        T::from_bits(self.global.heap.raw_load(addr))
+    }
+
+    /// Costed non-transactional store.
+    pub fn store<T: TmValue>(&mut self, cell: &TCell<T>, value: T) {
+        let addr = cell.addr();
+        let c = self.mem_cost(addr.line());
+        self.charge_app(c);
+        self.global.heap.raw_store(addr, value.to_bits());
+    }
+
+    /// Costed non-transactional load of a raw word address.
+    pub fn load_word(&mut self, addr: WordAddr) -> u64 {
+        let c = self.mem_cost(addr.line());
+        self.charge_app(c);
+        self.global.heap.raw_load(addr)
+    }
+
+    /// Costed non-transactional store to a raw word address.
+    pub fn store_word(&mut self, addr: WordAddr, value: u64) {
+        let c = self.mem_cost(addr.line());
+        self.charge_app(c);
+        self.global.heap.raw_store(addr, value)
+    }
+
+    /// A deterministic per-thread random number in `0..bound`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.rng.below(bound)
+    }
+
+    /// Wait at a phase barrier; simulated clocks are synchronized to the
+    /// latest arrival.
+    pub fn barrier(&mut self, barrier: &SimBarrier) {
+        assert!(!self.in_txn, "barrier inside a transaction");
+        self.flush();
+        self.global.scheduler.park(self.tid);
+        let release = barrier.wait(self.clock);
+        self.global.scheduler.unpark(self.tid, release);
+        self.clock = self.clock.max(release);
+        self.pending = 0;
+    }
+
+    /// Cache-model statistics, when `cache_sim` is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| (c.accesses(), c.misses()))
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("tid", &self.tid)
+            .field("clock", &self.clock)
+            .field("in_txn", &self.in_txn)
+            .finish()
+    }
+}
+
+/// Shorthand aliases used across the engine internals.
+pub(crate) type WordMap = FxHashMap<u64, u64>;
+pub(crate) type LineSet = FxHashSet<u64>;

@@ -1,0 +1,457 @@
+//! Time-ordered execution simulation.
+//!
+//! The STAMP paper evaluates every TM system on an execution-driven
+//! simulator (Table V) and reports *simulated cycles*, not hardware wall
+//! clock. This module provides the equivalent substrate: application
+//! threads run as real OS threads, but a [`Scheduler`] only lets a thread
+//! proceed while its simulated clock is within one quantum of the slowest
+//! runnable thread. Every TM barrier, memory access, and unit of
+//! application work advances the local clock, so contention, aborts, and
+//! serialization emerge from real interleavings of the *logical*
+//! processors — independent of how many host cores exist.
+//!
+//! Synchronization primitives that must not stall simulated time
+//! ([`SimMutex`]) spin in simulated time; the phase barrier
+//! ([`SimBarrier`]) parks threads outside the scheduler's runnable set and
+//! re-synchronizes their clocks on release, like a hardware barrier would.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Cycles a thread accumulates locally before publishing to the scheduler.
+/// This bounds scheduler overhead; the effective quantum is
+/// `quantum + FLUSH_CYCLES`.
+pub(crate) const FLUSH_CYCLES: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadStatus {
+    Running,
+    /// Parked at a barrier (or otherwise descheduled); excluded from the
+    /// minimum-clock computation so the remaining threads can proceed.
+    Parked,
+    Done,
+}
+
+struct SchedState {
+    clocks: Vec<u64>,
+    status: Vec<ThreadStatus>,
+}
+
+impl SchedState {
+    /// Minimum clock over running threads, or `None` if none are running.
+    fn min_running(&self) -> Option<u64> {
+        self.clocks
+            .iter()
+            .zip(&self.status)
+            .filter(|(_, s)| **s == ThreadStatus::Running)
+            .map(|(c, _)| *c)
+            .min()
+    }
+}
+
+/// The time-ordered scheduler: logical threads may only run while within
+/// `quantum` cycles of the slowest runnable logical thread.
+pub struct Scheduler {
+    enabled: bool,
+    quantum: u64,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    /// Create a scheduler for `threads` logical processors.
+    pub fn new(threads: usize, quantum: u64, enabled: bool) -> Self {
+        Scheduler {
+            enabled,
+            quantum,
+            state: Mutex::new(SchedState {
+                clocks: vec![0; threads],
+                status: vec![ThreadStatus::Running; threads],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Whether time-ordered scheduling is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Publish `cycles` of progress for `tid` and block while it is more
+    /// than a quantum ahead of the slowest runnable thread.
+    ///
+    /// Must not be called while holding any other lock.
+    pub fn advance(&self, tid: usize, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut s = self.state.lock();
+        s.clocks[tid] += cycles;
+        debug_assert_eq!(s.status[tid], ThreadStatus::Running);
+        // Our clock moved; threads waiting on the minimum may now be
+        // eligible. Notify *before* potentially sleeping ourselves, or a
+        // thread that leaps far ahead in one call would strand the
+        // waiters it just unblocked (lost wakeup).
+        self.cv.notify_all();
+        loop {
+            let min = s.min_running().expect("caller is running");
+            if s.clocks[tid] <= min + self.quantum {
+                break;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Mark `tid` as parked (e.g. at a phase barrier): it no longer holds
+    /// back other threads.
+    pub fn park(&self, tid: usize) {
+        if !self.enabled {
+            return;
+        }
+        let mut s = self.state.lock();
+        s.status[tid] = ThreadStatus::Parked;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Resume `tid` with its clock set to `clock` (a barrier release sets
+    /// all participants to the barrier's maximum arrival time).
+    pub fn unpark(&self, tid: usize, clock: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut s = self.state.lock();
+        s.status[tid] = ThreadStatus::Running;
+        s.clocks[tid] = s.clocks[tid].max(clock);
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Mark `tid` as finished.
+    pub fn done(&self, tid: usize) {
+        if !self.enabled {
+            return;
+        }
+        let mut s = self.state.lock();
+        s.status[tid] = ThreadStatus::Done;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// The published clock of `tid` (excludes unflushed local cycles).
+    pub fn clock(&self, tid: usize) -> u64 {
+        self.state.lock().clocks[tid]
+    }
+
+    /// Maximum published clock over all threads: the simulated makespan.
+    pub fn max_clock(&self) -> u64 {
+        self.state.lock().clocks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("enabled", &self.enabled)
+            .field("quantum", &self.quantum)
+            .finish()
+    }
+}
+
+/// A mutex that spins in *simulated* time.
+///
+/// Holders are expected to release quickly (commit sections); waiters call
+/// [`SimMutex::acquire`] with a closure that charges simulated cycles per
+/// failed attempt, which lets the scheduler run the holder.
+pub struct SimMutex {
+    locked: std::sync::atomic::AtomicBool,
+}
+
+impl Default for SimMutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimMutex {
+    /// Create an unlocked mutex.
+    pub const fn new() -> Self {
+        SimMutex {
+            locked: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Try to acquire without spinning. Returns true on success.
+    #[inline]
+    pub fn try_acquire(&self) -> bool {
+        !self.locked.swap(true, std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Acquire, calling `spin_tick` once per failed attempt (the closure
+    /// should advance simulated time and may yield the host CPU).
+    pub fn acquire(&self, mut spin_tick: impl FnMut()) {
+        let mut spins = 0u32;
+        while !self.try_acquire() {
+            spin_tick();
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Release the mutex.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the mutex was held.
+    #[inline]
+    pub fn release(&self) {
+        debug_assert!(self.locked.load(std::sync::atomic::Ordering::Relaxed));
+        self.locked
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether the mutex is currently held by someone.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for SimMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimMutex(locked={})", self.is_locked())
+    }
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    max_clock: u64,
+    release_clock: u64,
+}
+
+/// A phase barrier for logical threads that re-synchronizes simulated
+/// clocks: all participants leave with their clock set to the latest
+/// arrival time (plus a small fixed cost).
+pub struct SimBarrier {
+    n: usize,
+    cost: u64,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl SimBarrier {
+    /// Barrier for `n` logical threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        SimBarrier {
+            n,
+            cost: 100,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                max_clock: 0,
+                release_clock: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arrive with simulated clock `clock`; blocks until all `n` threads
+    /// arrive, then returns the synchronized release clock.
+    ///
+    /// The caller must have parked itself in the scheduler first (handled
+    /// by `ThreadCtx::barrier`).
+    pub fn wait(&self, clock: u64) -> u64 {
+        let mut s = self.state.lock();
+        s.max_clock = s.max_clock.max(clock);
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation += 1;
+            s.release_clock = s.max_clock + self.cost;
+            s.max_clock = 0;
+            let release = s.release_clock;
+            drop(s);
+            self.cv.notify_all();
+            release
+        } else {
+            let gen = s.generation;
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            s.release_clock
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+}
+
+impl std::fmt::Debug for SimBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimBarrier(n={})", self.n)
+    }
+}
+
+/// A tiny, fast, seedable PRNG (xorshift64*), used for backoff delays and
+/// as the engine-internal randomness source. Deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create from a seed (zero is mapped to a fixed nonzero constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn scheduler_bounds_skew() {
+        let sched = Arc::new(Scheduler::new(2, 100, true));
+        let max_seen = Arc::new(AtomicU64::new(0));
+        let s1 = sched.clone();
+        let m1 = max_seen.clone();
+        let fast = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                s1.advance(0, 10);
+                let skew = s1.clock(0).saturating_sub(s1.clock(1));
+                m1.fetch_max(skew, Ordering::Relaxed);
+            }
+            s1.done(0);
+        });
+        let s2 = sched.clone();
+        let slow = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                s2.advance(1, 10);
+                std::hint::spin_loop();
+            }
+            s2.done(1);
+        });
+        fast.join().unwrap();
+        slow.join().unwrap();
+        // The fast thread can never be more than quantum + one advance
+        // ahead while the slow thread is still running.
+        assert!(max_seen.load(Ordering::Relaxed) <= 100 + 10);
+        assert_eq!(sched.max_clock(), 10_000);
+    }
+
+    #[test]
+    fn scheduler_disabled_is_noop() {
+        let sched = Scheduler::new(2, 100, false);
+        sched.advance(0, 1_000_000);
+        assert_eq!(sched.clock(0), 0); // disabled: nothing recorded
+    }
+
+    #[test]
+    fn parked_thread_does_not_block_others() {
+        let sched = Arc::new(Scheduler::new(2, 50, true));
+        sched.park(1);
+        // Thread 0 can run arbitrarily far ahead of the parked thread 1.
+        sched.advance(0, 10_000);
+        assert_eq!(sched.clock(0), 10_000);
+        sched.unpark(1, 10_000);
+        assert_eq!(sched.clock(1), 10_000);
+        sched.done(0);
+        sched.done(1);
+    }
+
+    #[test]
+    fn sim_mutex_mutual_exclusion() {
+        let m = Arc::new(SimMutex::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            let c = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.acquire(|| {});
+                    let v = c.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    c.store(v + 1, Ordering::Relaxed);
+                    m.release();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let b = Arc::new(SimBarrier::new(3));
+        let mut handles = Vec::new();
+        for (i, clock) in [100u64, 500, 300].into_iter().enumerate() {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                let _ = i;
+                b.wait(clock)
+            }));
+        }
+        let releases: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &releases {
+            assert_eq!(*r, 600); // max(100,500,300) + barrier cost 100
+        }
+    }
+
+    #[test]
+    fn barrier_reusable_across_generations() {
+        let b = Arc::new(SimBarrier::new(2));
+        for round in 0..3u64 {
+            let b1 = b.clone();
+            let t = std::thread::spawn(move || b1.wait(round * 10));
+            let r_main = b.wait(round * 10 + 5);
+            let r_thread = t.join().unwrap();
+            assert_eq!(r_main, r_thread);
+            assert_eq!(r_main, round * 10 + 5 + 100);
+        }
+    }
+
+    #[test]
+    fn xorshift_deterministic_and_bounded() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            assert!(a.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Transactional statistics: everything needed to regenerate Table VI of
+//! the paper — transaction length, read/write set sizes in 32-byte lines
+//! (90th percentile), barrier counts, fraction of time spent in
+//! transactions, and retries per transaction.
+
+/// Statistics of one *committed* transaction (the successful attempt).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// Application cycles inside the committed attempt (work + memory
+    /// latency, excluding TM barrier overhead) — the analogue of the
+    /// paper's "instructions per transaction".
+    pub app_cycles: u64,
+    /// Distinct 32-byte lines read.
+    pub read_lines: u32,
+    /// Distinct 32-byte lines written.
+    pub write_lines: u32,
+    /// Read barrier invocations.
+    pub read_barriers: u32,
+    /// Write barrier invocations.
+    pub write_barriers: u32,
+    /// Aborted attempts before this commit.
+    pub retries: u32,
+}
+
+/// A capped, stride-sampled store of transaction records. Keeps exact
+/// records until the cap, then halves resolution; aggregate percentiles
+/// stay representative for the long-running apps.
+#[derive(Debug, Clone)]
+pub struct SampledRecords {
+    records: Vec<TxnRecord>,
+    stride: u64,
+    seen: u64,
+    cap: usize,
+}
+
+impl Default for SampledRecords {
+    fn default() -> Self {
+        Self::with_cap(1 << 16)
+    }
+}
+
+impl SampledRecords {
+    /// Sampler keeping at most `cap` records.
+    pub fn with_cap(cap: usize) -> Self {
+        assert!(cap >= 2);
+        SampledRecords {
+            records: Vec::new(),
+            stride: 1,
+            seen: 0,
+            cap,
+        }
+    }
+
+    /// Record a committed transaction.
+    pub fn push(&mut self, rec: TxnRecord) {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.stride) {
+            self.records.push(rec);
+            if self.records.len() >= self.cap {
+                let mut keep = false;
+                self.records.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+    }
+
+    /// Total transactions observed (not just sampled).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The sampled records.
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.records
+    }
+
+    /// Merge another sampler into this one (harmonizing strides).
+    pub fn merge(&mut self, other: &SampledRecords) {
+        self.seen += other.seen;
+        self.records.extend_from_slice(&other.records);
+        self.stride = self.stride.max(other.stride);
+        while self.records.len() >= self.cap {
+            let mut keep = false;
+            self.records.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+}
+
+/// Per-thread running statistics, merged into a [`RunStats`] at the end
+/// of a run.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+    /// Cycles spent between the first `begin` and the final `commit` of
+    /// each transaction (includes aborted attempts and backoff).
+    pub cycles_in_txn: u64,
+    /// Total cycles of the thread (its final simulated clock).
+    pub total_cycles: u64,
+    /// Modeled cache accesses (0 unless `cache_sim` is enabled).
+    pub mem_accesses: u64,
+    /// Modeled cache misses.
+    pub mem_misses: u64,
+    /// Sampled committed-transaction records.
+    pub records: SampledRecords,
+}
+
+/// Aggregated statistics of a complete run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Committed transactions across all threads.
+    pub commits: u64,
+    /// Aborted attempts across all threads.
+    pub aborts: u64,
+    /// Sum of per-thread in-transaction cycles.
+    pub cycles_in_txn: u64,
+    /// Sum of per-thread total cycles.
+    pub cycles_total: u64,
+    /// Modeled cache accesses across threads (0 unless `cache_sim`).
+    pub mem_accesses: u64,
+    /// Modeled cache misses across threads.
+    pub mem_misses: u64,
+    /// Merged record sample.
+    pub records: SampledRecords,
+}
+
+impl RunStats {
+    /// Fold a thread's statistics into the aggregate.
+    pub fn absorb(&mut self, t: &ThreadStats) {
+        self.commits += t.commits;
+        self.aborts += t.aborts;
+        self.cycles_in_txn += t.cycles_in_txn;
+        self.cycles_total += t.total_cycles;
+        self.mem_accesses += t.mem_accesses;
+        self.mem_misses += t.mem_misses;
+        self.records.merge(&t.records);
+    }
+
+    /// Modeled cache miss rate (0 unless `cache_sim` was enabled).
+    pub fn miss_rate(&self) -> f64 {
+        if self.mem_accesses == 0 {
+            0.0
+        } else {
+            self.mem_misses as f64 / self.mem_accesses as f64
+        }
+    }
+
+    /// Mean retries per committed transaction (Table VI, "Retries Per
+    /// Transaction").
+    pub fn retries_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of execution time spent inside transactions (Table VI,
+    /// "Time in Transactions").
+    pub fn time_in_txn(&self) -> f64 {
+        if self.cycles_total == 0 {
+            0.0
+        } else {
+            (self.cycles_in_txn as f64 / self.cycles_total as f64).min(1.0)
+        }
+    }
+
+    /// Mean application cycles per committed transaction (the analogue
+    /// of Table VI's mean instructions per transaction).
+    pub fn mean_txn_len(&self) -> f64 {
+        mean(self.records.records(), |r| r.app_cycles as f64)
+    }
+
+    /// 90th-percentile read-set size in lines.
+    pub fn p90_read_lines(&self) -> u32 {
+        percentile(self.records.records(), 0.90, |r| r.read_lines)
+    }
+
+    /// 90th-percentile write-set size in lines.
+    pub fn p90_write_lines(&self) -> u32 {
+        percentile(self.records.records(), 0.90, |r| r.write_lines)
+    }
+
+    /// 90th-percentile read-barrier count.
+    pub fn p90_read_barriers(&self) -> u32 {
+        percentile(self.records.records(), 0.90, |r| r.read_barriers)
+    }
+
+    /// 90th-percentile write-barrier count.
+    pub fn p90_write_barriers(&self) -> u32 {
+        percentile(self.records.records(), 0.90, |r| r.write_barriers)
+    }
+}
+
+fn mean<T, F: Fn(&T) -> f64>(items: &[T], f: F) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().map(f).sum::<f64>() / items.len() as f64
+}
+
+/// The `q`-quantile (0..=1) of `f` over `items`, by sorting.
+fn percentile<T, F: Fn(&T) -> u32>(items: &[T], q: f64, f: F) -> u32 {
+    if items.is_empty() {
+        return 0;
+    }
+    let mut vals: Vec<u32> = items.iter().map(f).collect();
+    vals.sort_unstable();
+    let idx = ((vals.len() as f64 * q).ceil() as usize).clamp(1, vals.len()) - 1;
+    vals[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(read_lines: u32) -> TxnRecord {
+        TxnRecord {
+            app_cycles: 10,
+            read_lines,
+            write_lines: 1,
+            read_barriers: read_lines,
+            write_barriers: 1,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn percentile_of_uniform() {
+        let recs: Vec<TxnRecord> = (1..=100).map(rec).collect();
+        assert_eq!(percentile(&recs, 0.90, |r| r.read_lines), 90);
+        assert_eq!(percentile(&recs, 0.50, |r| r.read_lines), 50);
+        assert_eq!(percentile(&recs, 1.0, |r| r.read_lines), 100);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let recs: Vec<TxnRecord> = Vec::new();
+        assert_eq!(percentile(&recs, 0.9, |r| r.read_lines), 0);
+    }
+
+    #[test]
+    fn sampler_caps_and_counts() {
+        let mut s = SampledRecords::with_cap(64);
+        for i in 0..10_000 {
+            s.push(rec(i % 100));
+        }
+        assert_eq!(s.seen(), 10_000);
+        assert!(s.records().len() < 64);
+        assert!(s.records().len() > 16);
+    }
+
+    #[test]
+    fn sampler_merge_accumulates_seen() {
+        let mut a = SampledRecords::with_cap(1024);
+        let mut b = SampledRecords::with_cap(1024);
+        for i in 0..100 {
+            a.push(rec(i));
+            b.push(rec(i + 100));
+        }
+        a.merge(&b);
+        assert_eq!(a.seen(), 200);
+        assert_eq!(a.records().len(), 200);
+    }
+
+    #[test]
+    fn run_stats_ratios() {
+        let mut rs = RunStats::default();
+        let mut t = ThreadStats {
+            commits: 10,
+            aborts: 5,
+            cycles_in_txn: 600,
+            total_cycles: 1000,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            t.records.push(rec(4));
+        }
+        rs.absorb(&t);
+        assert_eq!(rs.retries_per_txn(), 0.5);
+        assert_eq!(rs.time_in_txn(), 0.6);
+        assert_eq!(rs.p90_read_lines(), 4);
+        assert_eq!(rs.mean_txn_len(), 10.0);
+    }
+
+    #[test]
+    fn time_in_txn_clamped() {
+        let rs = RunStats {
+            cycles_in_txn: 1200,
+            cycles_total: 1000,
+            ..Default::default()
+        };
+        assert_eq!(rs.time_in_txn(), 1.0);
+    }
+}

@@ -1,0 +1,1320 @@
+//! Transactions: the barrier, commit, and abort protocols of all six TM
+//! systems (§IV of the paper).
+//!
+//! A transaction is executed by passing a closure to
+//! [`crate::runtime::ThreadCtx::atomic`]; the closure receives a [`Txn`]
+//! handle and returns `Result<_, Abort>`, using `?` on every transactional
+//! access so the engine can restart it on conflicts. Nesting is not
+//! supported (STAMP uses flat transactions).
+//!
+//! # Consistency model
+//!
+//! The STMs provide opacity (TL2 validation) so transaction bodies never
+//! observe inconsistent state. The lazy HTM and lazy hybrid doom
+//! conflicting transactions *before and after* applying a commit's writes
+//! (atomically per line, under the directory shard lock or the
+//! doom–apply–doom signature scan), so a transaction that could observe
+//! mixed state is always already doomed; every barrier checks the doom
+//! flag, and bounds checks that fail inside a doomed transaction convert
+//! to aborts instead of panics. This bounds zombie execution to a single
+//! barrier.
+
+use crate::addr::{LineAddr, WordAddr};
+use crate::config::SystemKind;
+use crate::heap::{TArray, TCell, TmValue};
+use crate::locks::LockWord;
+use crate::runtime::{LineSet, ThreadCtx, WordMap, NO_PRIORITY};
+use crate::stats::TxnRecord;
+
+/// A transaction abort: unwinds the body back to the retry loop.
+///
+/// Constructed only by the engine; application code simply propagates it
+/// with `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort(pub(crate) ());
+
+/// Result of a transactional operation.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// Explicitly abort and restart the current transaction (the analogue of
+/// STAMP's `TM_RESTART`): return this from the transaction body.
+///
+/// labyrinth uses this when commit-time revalidation of a routed path
+/// fails (§III-B5 of the paper).
+pub fn abort<T>() -> TxResult<T> {
+    Err(Abort(()))
+}
+
+/// Per-attempt transaction state, owned by the thread context and reused
+/// across attempts to avoid allocation churn.
+#[derive(Debug, Default)]
+pub(crate) struct TxnState {
+    /// TL2 read timestamp.
+    pub rv: u64,
+    /// STM read set: lock-table indices to validate at commit.
+    pub read_locks: Vec<u32>,
+    /// Lazy redo buffer: word address -> value.
+    pub write_map: WordMap,
+    /// Eager undo log: (word address, previous value), in write order.
+    pub undo: Vec<(u64, u64)>,
+    /// Eager STM: locks held, with the version to restore on abort.
+    pub held_locks: Vec<(u32, u64)>,
+    /// Distinct lines read (stats for all systems; tracked read set for
+    /// HTMs/hybrids).
+    pub read_lines: LineSet,
+    /// Distinct lines written.
+    pub write_lines: LineSet,
+    /// Lines registered in the directory (HTMs), to clear on completion.
+    pub dir_lines: Vec<u64>,
+    /// HTM: lines resident in the modeled L1 (speculative state).
+    pub resident: LineSet,
+    /// Eager HTM: lines that overflowed into the Bloom signature.
+    pub overflowed: LineSet,
+    /// HTM capacity model: lines per L1 set.
+    pub set_counts: crate::fxhash::FxHashMap<u64, u8>,
+    /// Lazy HTM: true once overflow forced this transaction to hold the
+    /// commit token (serialized execution).
+    pub serialized: bool,
+    /// Application cycles in this attempt (Table VI "instructions").
+    pub app_cycles: u64,
+    /// Read barrier invocations in this attempt.
+    pub read_barriers: u32,
+    /// Write barrier invocations in this attempt.
+    pub write_barriers: u32,
+}
+
+impl TxnState {
+    fn reset(&mut self) {
+        self.rv = 0;
+        self.read_locks.clear();
+        self.write_map.clear();
+        self.undo.clear();
+        self.held_locks.clear();
+        self.read_lines.clear();
+        self.write_lines.clear();
+        self.dir_lines.clear();
+        self.resident.clear();
+        self.overflowed.clear();
+        self.set_counts.clear();
+        self.serialized = false;
+        self.app_cycles = 0;
+        self.read_barriers = 0;
+        self.write_barriers = 0;
+    }
+}
+
+impl ThreadCtx {
+    /// Execute `body` as an atomic transaction, retrying on conflicts
+    /// until it commits, and return its result.
+    ///
+    /// The body may run multiple times; it must be idempotent apart from
+    /// its transactional effects (allocations it performs are leaked on
+    /// abort, as with the original STAMP `TM_MALLOC`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called inside another transaction (flat nesting only).
+    pub fn atomic<R>(&mut self, mut body: impl FnMut(&mut Txn<'_>) -> TxResult<R>) -> R {
+        assert!(
+            !self.in_txn,
+            "nested transactions are not supported (STAMP uses flat transactions)"
+        );
+        let start_clock = self.clock;
+        let mut retries: u32 = 0;
+        loop {
+            self.begin_attempt();
+            let committed = {
+                let mut txn = Txn { ctx: &mut *self };
+                match body(&mut txn) {
+                    Ok(value) => {
+                        if txn.try_commit().is_ok() {
+                            Some(value)
+                        } else {
+                            None
+                        }
+                    }
+                    Err(Abort(())) => {
+                        txn.rollback();
+                        None
+                    }
+                }
+            };
+            self.in_txn = false;
+            match committed {
+                Some(value) => {
+                    self.finish_commit(start_clock, retries);
+                    return value;
+                }
+                None => {
+                    retries = retries.saturating_add(1);
+                    self.stats.aborts += 1;
+                    self.after_abort(retries);
+                }
+            }
+        }
+    }
+
+    fn begin_attempt(&mut self) {
+        use std::sync::atomic::Ordering;
+        self.in_txn = true;
+        self.txn.reset();
+        self.global.doomed[self.tid].store(false, Ordering::SeqCst);
+        self.global.active[self.tid].store(true, Ordering::SeqCst);
+        self.txn.rv = self.global.clock.read();
+        {
+            use std::sync::atomic::Ordering;
+            let ts = self.global.ts_counter.fetch_add(1, Ordering::AcqRel);
+            self.global.txn_ts[self.tid].store(ts, Ordering::SeqCst);
+        }
+        if self.global.config.system == SystemKind::GlobalLock {
+            // Coarse-grain lock: serialize the whole transaction.
+            let mut spins = 0u32;
+            while !self.global.commit_token.try_acquire() {
+                self.charge_tm(10);
+                spins += 1;
+                if spins % 64 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let fixed = self
+            .global
+            .config
+            .cost
+            .txn_fixed_for(self.global.config.system);
+        self.charge_tm(fixed);
+    }
+
+    fn finish_commit(&mut self, start_clock: u64, retries: u32) {
+        use std::sync::atomic::Ordering;
+        self.global.active[self.tid].store(false, Ordering::SeqCst);
+        if self.has_priority {
+            self.global
+                .priority
+                .compare_exchange(self.tid, NO_PRIORITY, Ordering::AcqRel, Ordering::Relaxed)
+                .ok();
+            self.has_priority = false;
+        }
+        self.stats.commits += 1;
+        self.stats.cycles_in_txn += self.clock - start_clock;
+        let rec = TxnRecord {
+            app_cycles: self.txn.app_cycles,
+            read_lines: self.txn.read_lines.len() as u32,
+            write_lines: self.txn.write_lines.len() as u32,
+            read_barriers: self.txn.read_barriers,
+            write_barriers: self.txn.write_barriers,
+            retries,
+        };
+        self.stats.records.push(rec);
+    }
+
+    fn after_abort(&mut self, retries: u32) {
+        use crate::config::BackoffPolicy;
+        use std::sync::atomic::Ordering;
+        let fixed = self.global.config.cost.abort_fixed;
+        self.charge_tm(fixed);
+        match self.global.config.effective_backoff() {
+            BackoffPolicy::None => {}
+            BackoffPolicy::RandomizedLinear { after, base } => {
+                if retries >= after {
+                    let window = base * (retries - after + 1) as u64 + 1;
+                    let delay = self.rng.below(window);
+                    self.charge_tm(delay);
+                }
+            }
+            BackoffPolicy::ExponentialRandom {
+                after,
+                base,
+                max_exp,
+            } => {
+                if retries >= after {
+                    let exp = (retries - after).min(max_exp);
+                    let window = base.saturating_mul(1u64 << exp.min(40)) + 1;
+                    let delay = self.rng.below(window);
+                    self.charge_tm(delay);
+                }
+            }
+        }
+        if self.global.config.system == SystemKind::EagerHtm
+            && retries >= self.global.config.htm_priority_after
+            && !self.has_priority
+        {
+            // The paper's livelock guard: after 32 aborts a transaction is
+            // promoted so no other transaction can abort it.
+            if self
+                .global
+                .priority
+                .compare_exchange(NO_PRIORITY, self.tid, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.has_priority = true;
+            }
+        }
+    }
+}
+
+/// Env-gated conflict tracing (`TM_DEBUG_CONFLICTS=1`): prints every
+/// eager-HTM conflict, capacity overflow, and signature hit to stderr.
+fn debug_conflicts() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("TM_DEBUG_CONFLICTS").is_some())
+}
+
+/// Handle to the currently executing transaction attempt.
+///
+/// All transactional reads and writes go through this handle; propagate
+/// the [`Abort`] error with `?` so the retry loop can restart the body.
+pub struct Txn<'a> {
+    pub(crate) ctx: &'a mut ThreadCtx,
+}
+
+impl Txn<'_> {
+    /// This thread's id.
+    pub fn tid(&self) -> usize {
+        self.ctx.tid
+    }
+
+    /// The system being modeled.
+    pub fn system(&self) -> SystemKind {
+        self.ctx.global.config.system
+    }
+
+    /// Charge `cycles` of in-transaction application work.
+    pub fn work(&mut self, cycles: u64) {
+        self.ctx.charge_app(cycles);
+    }
+
+    /// A deterministic per-thread random number in `0..bound`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.ctx.rng.below(bound)
+    }
+
+    /// Allocate fresh words inside the transaction (leaked if the
+    /// transaction aborts, like `TM_MALLOC`).
+    pub fn alloc_words(&mut self, words: u64) -> WordAddr {
+        self.ctx.charge_app(20 + words / 4);
+        self.ctx.global.heap.alloc_words(words)
+    }
+
+    /// Allocate fresh words padded to whole cache lines.
+    pub fn alloc_words_line_padded(&mut self, words: u64) -> WordAddr {
+        self.ctx.charge_app(20 + words / 4);
+        self.ctx.global.heap.alloc_words_line_padded(words)
+    }
+
+    /// Initialize a word of *freshly allocated, unpublished* memory
+    /// without transactional instrumentation. Safe because the memory is
+    /// unreachable by other threads until a transactional write publishes
+    /// a pointer to it — the standard STAMP optimization for initializing
+    /// `TM_MALLOC`ed nodes.
+    pub fn init_word(&mut self, addr: WordAddr, value: u64) {
+        let c = self.ctx.mem_cost(addr.line());
+        self.ctx.charge_app(c);
+        self.ctx.global.heap.raw_store(addr, value);
+    }
+
+    /// Typed [`Txn::init_word`].
+    pub fn init<T: TmValue>(&mut self, cell: &TCell<T>, value: T) {
+        self.init_word(cell.addr(), value.to_bits());
+    }
+
+    /// Whether this transaction has been doomed by a committer (lazy
+    /// systems) or a priority transaction (eager HTM).
+    pub fn is_doomed(&self) -> bool {
+        self.ctx.global.doomed[self.ctx.tid].load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Costed but *unbarriered* read, for data the program guarantees is
+    /// immutable or thread-private for the transaction's duration — the
+    /// manual barrier-elision optimization the paper applies following
+    /// Adl-Tabatabai et al. and Harris et al. (§III-D). On the HTMs this
+    /// is equivalent to a normal read without occupying speculative
+    /// cache state (the data can never conflict).
+    ///
+    /// Misuse (calling this on genuinely shared mutable data) breaks
+    /// isolation, exactly as eliding a barrier in the C suite would.
+    pub fn load_private(&mut self, addr: WordAddr) -> u64 {
+        let c = self.ctx.mem_cost(addr.line());
+        self.ctx.charge_app(c);
+        self.ctx.global.heap.raw_load(addr)
+    }
+
+    /// Transactional read of a typed cell.
+    pub fn read<T: TmValue>(&mut self, cell: &TCell<T>) -> TxResult<T> {
+        self.read_word(cell.addr()).map(T::from_bits)
+    }
+
+    /// Transactional write of a typed cell.
+    pub fn write<T: TmValue>(&mut self, cell: &TCell<T>, value: T) -> TxResult<()> {
+        self.write_word(cell.addr(), value.to_bits())
+    }
+
+    /// Transactional read of array element `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts instead of panicking on an out-of-bounds index when the
+    /// transaction is doomed (a zombie read produced the index).
+    pub fn read_idx<T: TmValue>(&mut self, arr: &TArray<T>, idx: u64) -> TxResult<T> {
+        if idx >= arr.len() {
+            return self.zombie_or_panic(arr, idx);
+        }
+        self.read_word(arr.base().offset(idx)).map(T::from_bits)
+    }
+
+    /// Transactional write of array element `idx`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Txn::read_idx`].
+    pub fn write_idx<T: TmValue>(&mut self, arr: &TArray<T>, idx: u64, value: T) -> TxResult<()> {
+        if idx >= arr.len() {
+            return self.zombie_or_panic(arr, idx).map(|_| ());
+        }
+        self.write_word(arr.base().offset(idx), value.to_bits())
+    }
+
+    #[cold]
+    fn zombie_or_panic<T: TmValue>(&mut self, arr: &TArray<T>, idx: u64) -> TxResult<T> {
+        if self.is_doomed() {
+            return Err(Abort(()));
+        }
+        panic!("index {idx} out of bounds (len {})", arr.len());
+    }
+
+    #[cold]
+    fn unmapped_or_panic(&mut self, addr: WordAddr) -> TxResult<u64> {
+        if self.is_doomed() {
+            return Err(Abort(()));
+        }
+        panic!("transactional access to unmapped address {addr}");
+    }
+
+    /// Transactional read of a raw word address.
+    pub fn read_word(&mut self, addr: WordAddr) -> TxResult<u64> {
+        self.ctx.txn.read_barriers += 1;
+        if !self.ctx.global.heap.is_mapped(addr) {
+            return self.unmapped_or_panic(addr);
+        }
+        match self.ctx.global.config.system {
+            SystemKind::Sequential | SystemKind::GlobalLock => Ok(self.seq_read(addr)),
+            SystemKind::LazyStm => self.stm_lazy_read(addr),
+            SystemKind::EagerStm => self.stm_eager_read(addr),
+            SystemKind::LazyHtm => self.htm_lazy_read(addr),
+            SystemKind::EagerHtm => self.htm_eager_read(addr),
+            SystemKind::LazyHybrid => self.hyb_lazy_read(addr),
+            SystemKind::EagerHybrid => self.hyb_eager_read(addr),
+        }
+    }
+
+    /// Transactional write of a raw word address.
+    pub fn write_word(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.ctx.txn.write_barriers += 1;
+        if !self.ctx.global.heap.is_mapped(addr) {
+            return self.unmapped_or_panic(addr).map(|_| ());
+        }
+        match self.ctx.global.config.system {
+            SystemKind::Sequential | SystemKind::GlobalLock => {
+                self.seq_write(addr, value);
+                Ok(())
+            }
+            SystemKind::LazyStm => {
+                self.stm_lazy_write(addr, value);
+                Ok(())
+            }
+            SystemKind::EagerStm => self.stm_eager_write(addr, value),
+            SystemKind::LazyHtm => self.htm_lazy_write(addr, value),
+            SystemKind::EagerHtm => self.htm_eager_write(addr, value),
+            SystemKind::LazyHybrid => self.hyb_lazy_write(addr, value),
+            SystemKind::EagerHybrid => self.hyb_eager_write(addr, value),
+        }
+    }
+
+    /// Early release (§III-B5): drop `addr` from the transactional read
+    /// set so it no longer generates conflicts. The caller guarantees
+    /// atomicity is preserved.
+    ///
+    /// On the eager HTM, addresses that overflowed into the Bloom filter
+    /// cannot be released (the paper's labyrinth+ observation). On the
+    /// hybrids this is a no-op (signatures cannot remove); the
+    /// applications use unbarriered reads there instead.
+    pub fn early_release(&mut self, addr: WordAddr) {
+        let line = addr.line();
+        match self.ctx.global.config.system {
+            SystemKind::LazyHtm | SystemKind::EagerHtm => {
+                if self.ctx.txn.overflowed.contains(&line.0) {
+                    return; // tracked only by the Bloom filter: cannot release
+                }
+                if self.ctx.txn.read_lines.remove(&line.0) {
+                    self.ctx.global.directory.remove_reader(line, self.ctx.tid);
+                    if !self.ctx.txn.write_lines.contains(&line.0)
+                        && self.ctx.txn.resident.remove(&line.0)
+                    {
+                        let set = self.ctx.global.config.l1.set_of(line.0);
+                        if let Some(c) = self.ctx.txn.set_counts.get_mut(&set) {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+                self.ctx.charge_tm(2);
+            }
+            SystemKind::LazyStm | SystemKind::EagerStm => {
+                let idx = self.ctx.global.locks.index_of(addr);
+                self.ctx.txn.read_locks.retain(|&i| i != idx);
+                self.ctx.txn.read_lines.remove(&line.0);
+                self.ctx.charge_tm(2);
+            }
+            _ => {}
+        }
+    }
+
+    // ----- sequential ---------------------------------------------------
+
+    fn seq_read(&mut self, addr: WordAddr) -> u64 {
+        let line = addr.line();
+        self.ctx.txn.read_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        self.ctx.global.heap.raw_load(addr)
+    }
+
+    fn seq_write(&mut self, addr: WordAddr, value: u64) {
+        let line = addr.line();
+        self.ctx.txn.write_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        self.ctx.global.heap.raw_store(addr, value);
+    }
+
+    // ----- TL2 STMs -----------------------------------------------------
+
+    fn stm_lazy_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        let cost = self.ctx.global.config.cost.stm_lazy_read;
+        self.ctx.charge_tm(cost);
+        if let Some(&v) = self.ctx.txn.write_map.get(&addr.0) {
+            return Ok(v);
+        }
+        let locks = &self.ctx.global.locks;
+        let idx = locks.index_of(addr);
+        let w1 = locks.load(idx);
+        let LockWord::Unlocked { version: v1 } = w1 else {
+            return Err(Abort(()));
+        };
+        if v1 > self.ctx.txn.rv {
+            return Err(Abort(()));
+        }
+        let val = self.ctx.global.heap.raw_load(addr);
+        if self.ctx.global.locks.load(idx) != w1 {
+            return Err(Abort(()));
+        }
+        self.ctx.txn.read_locks.push(idx);
+        let line = addr.line();
+        self.ctx.txn.read_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(val)
+    }
+
+    fn stm_lazy_write(&mut self, addr: WordAddr, value: u64) {
+        let cost = self.ctx.global.config.cost.stm_lazy_write;
+        self.ctx.charge_tm(cost);
+        self.ctx.txn.write_map.insert(addr.0, value);
+        self.ctx.txn.write_lines.insert(addr.line().0);
+    }
+
+    fn stm_eager_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        let cost = self.ctx.global.config.cost.stm_eager_read;
+        self.ctx.charge_tm(cost);
+        let locks = &self.ctx.global.locks;
+        let idx = locks.index_of(addr);
+        let val = match locks.load(idx) {
+            LockWord::Locked { owner } if owner == self.ctx.tid => {
+                self.ctx.global.heap.raw_load(addr)
+            }
+            LockWord::Locked { .. } => return Err(Abort(())),
+            w1 @ LockWord::Unlocked { version } => {
+                if version > self.ctx.txn.rv {
+                    return Err(Abort(()));
+                }
+                let val = self.ctx.global.heap.raw_load(addr);
+                if self.ctx.global.locks.load(idx) != w1 {
+                    return Err(Abort(()));
+                }
+                self.ctx.txn.read_locks.push(idx);
+                val
+            }
+        };
+        let line = addr.line();
+        self.ctx.txn.read_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(val)
+    }
+
+    fn stm_eager_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        let cost = self.ctx.global.config.cost.stm_eager_write;
+        self.ctx.charge_tm(cost);
+        let locks = &self.ctx.global.locks;
+        let idx = locks.index_of(addr);
+        match locks.load(idx) {
+            LockWord::Locked { owner } if owner == self.ctx.tid => {}
+            LockWord::Locked { .. } => return Err(Abort(())),
+            LockWord::Unlocked { version } => {
+                if version > self.ctx.txn.rv {
+                    return Err(Abort(()));
+                }
+                match locks.try_lock(idx, self.ctx.tid) {
+                    Ok(saved) => self.ctx.txn.held_locks.push((idx, saved)),
+                    Err(_) => return Err(Abort(())),
+                }
+            }
+        }
+        let prev = self.ctx.global.heap.raw_load(addr);
+        self.ctx.txn.undo.push((addr.0, prev));
+        self.ctx.global.heap.raw_store(addr, value);
+        let line = addr.line();
+        self.ctx.txn.write_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(())
+    }
+
+    // ----- HTMs ---------------------------------------------------------
+
+    #[inline]
+    fn check_doomed(&mut self) -> TxResult<()> {
+        if self.is_doomed() {
+            Err(Abort(()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// L1 capacity tracking for the lazy HTM: inserting a line that no
+    /// longer fits forces serialized execution (hold the commit token for
+    /// the rest of the transaction).
+    fn cache_insert_lazy(&mut self, line: LineAddr) -> TxResult<()> {
+        if self.ctx.txn.resident.contains(&line.0) {
+            return Ok(());
+        }
+        let assoc = self.ctx.global.config.l1.assoc as u8;
+        let set = self.ctx.global.config.l1.set_of(line.0);
+        let count = self.ctx.txn.set_counts.entry(set).or_insert(0);
+        if *count >= assoc {
+            if !self.ctx.txn.serialized {
+                self.acquire_commit_token()?;
+                self.ctx.txn.serialized = true;
+            }
+            Ok(())
+        } else {
+            *count += 1;
+            self.ctx.txn.resident.insert(line.0);
+            Ok(())
+        }
+    }
+
+    /// L1 capacity tracking for the eager HTM: overflowing lines move to
+    /// the Bloom signature (conservative: may cause false conflicts for
+    /// other transactions, and cannot be early-released).
+    fn cache_insert_eager(&mut self, line: LineAddr) {
+        if self.ctx.txn.resident.contains(&line.0) || self.ctx.txn.overflowed.contains(&line.0) {
+            return;
+        }
+        let assoc = self.ctx.global.config.l1.assoc as u8;
+        let set = self.ctx.global.config.l1.set_of(line.0);
+        let count = self.ctx.txn.set_counts.entry(set).or_insert(0);
+        if *count >= assoc {
+            if debug_conflicts() {
+                eprintln!("overflow line={} set={set} tid={}", line.0, self.ctx.tid);
+            }
+            self.ctx.global.overflow_sigs[self.ctx.tid].insert(line);
+            self.ctx.txn.overflowed.insert(line.0);
+        } else {
+            *count += 1;
+            self.ctx.txn.resident.insert(line.0);
+        }
+    }
+
+    /// Spin (in simulated time) for the global commit token, aborting if
+    /// doomed while waiting.
+    fn acquire_commit_token(&mut self) -> TxResult<()> {
+        let mut spins = 0u32;
+        while !self.ctx.global.commit_token.try_acquire() {
+            if self.is_doomed() {
+                return Err(Abort(()));
+            }
+            self.ctx.charge_tm(10);
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-only commit fence for the lazy systems: wait for any
+    /// in-flight commit to finish (its second doom scan included), then
+    /// make the final doom check. A reader that observed a partial
+    /// commit is necessarily doomed by the time the committer releases
+    /// the token, so this is sufficient for consistency without
+    /// serializing read-only transactions against each other.
+    fn read_only_fence(&mut self) -> TxResult<()> {
+        let mut spins = 0u32;
+        while self.ctx.global.commit_token.is_locked() {
+            if self.is_doomed() {
+                return Err(Abort(()));
+            }
+            self.ctx.charge_tm(5);
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.check_doomed()
+    }
+
+    fn htm_lazy_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        self.check_doomed()?;
+        if let Some(&v) = self.ctx.txn.write_map.get(&addr.0) {
+            let c = self.ctx.global.config.cost.l1_hit;
+            self.ctx.charge_app(c);
+            return Ok(v);
+        }
+        let line = addr.line();
+        if !self.ctx.txn.read_lines.contains(&line.0) {
+            self.ctx.global.directory.add_reader(line, self.ctx.tid);
+            self.ctx.txn.dir_lines.push(line.0);
+            self.cache_insert_lazy(line)?;
+            self.ctx.txn.read_lines.insert(line.0);
+        }
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(self.ctx.global.heap.raw_load(addr))
+    }
+
+    fn htm_lazy_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.check_doomed()?;
+        let line = addr.line();
+        if !self.ctx.txn.write_lines.contains(&line.0) {
+            self.ctx.global.directory.add_writer(line, self.ctx.tid);
+            self.ctx.txn.dir_lines.push(line.0);
+            self.cache_insert_lazy(line)?;
+            self.ctx.txn.write_lines.insert(line.0);
+        }
+        self.ctx.txn.write_map.insert(addr.0, value);
+        let c = self.ctx.global.config.cost.l1_hit;
+        self.ctx.charge_app(c);
+        Ok(())
+    }
+
+    /// Eager-HTM conflict resolution: the requester loses and aborts
+    /// unless it holds the priority token, in which case the victims are
+    /// doomed and the requester waits (in simulated time) for them to
+    /// vacate the line.
+    fn resolve_eager(&mut self, line: LineAddr, victims: u32) -> TxResult<()> {
+        use std::sync::atomic::Ordering;
+        if debug_conflicts() {
+            eprintln!(
+                "conflict line={} tid={} victims={:#x} priority={}",
+                line.0, self.ctx.tid, victims, self.ctx.has_priority
+            );
+        }
+        let stall = self.ctx.global.config.htm_conflict
+            == crate::config::HtmConflictPolicy::RequesterStalls;
+        if !self.ctx.has_priority && !stall {
+            return Err(Abort(()));
+        }
+        if stall && !self.ctx.has_priority {
+            // LogTM-style deadlock avoidance: only the *older*
+            // transaction may stall; a younger requester aborts so the
+            // wait-for graph stays acyclic.
+            let my_ts = self.ctx.global.txn_ts[self.ctx.tid].load(Ordering::SeqCst);
+            let mut mask = victims;
+            while mask != 0 {
+                let v = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if self.ctx.global.txn_ts[v].load(Ordering::SeqCst) < my_ts {
+                    return Err(Abort(()));
+                }
+            }
+        }
+        let doom = self.ctx.has_priority;
+        // Stalling requesters get a bounded wait (LogTM-style, with a
+        // timeout in place of deadlock detection); priority holders doom
+        // their victims and wait for them to vacate.
+        let limit: u32 = if doom { 100_000 } else { 10_000 };
+        let mut spins = 0u32;
+        loop {
+            let occ = self.ctx.global.directory.occupancy(line);
+            let remaining = (occ.readers | occ.writers) & victims;
+            if remaining == 0 {
+                return Ok(());
+            }
+            if doom {
+                // (Re-)doom every iteration: a victim that restarted and
+                // re-registered cleared its doom flag at begin.
+                let mut mask = remaining;
+                while mask != 0 {
+                    let v = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    self.ctx.global.doomed[v].store(true, Ordering::SeqCst);
+                }
+            } else if self.is_doomed() {
+                return Err(Abort(()));
+            }
+            self.ctx.charge_tm(20);
+            spins += 1;
+            if spins > limit {
+                // Timeout: give up (stall) / safety valve (priority).
+                return Err(Abort(()));
+            }
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Conflict check against other transactions' overflow Bloom filters
+    /// (eager HTM). False positives abort the requester, as in the paper.
+    fn check_overflow_sigs(&mut self, line: LineAddr) -> TxResult<()> {
+        use std::sync::atomic::Ordering;
+        let n = self.ctx.global.config.threads;
+        for t in 0..n {
+            if t == self.ctx.tid || !self.ctx.global.active[t].load(Ordering::Acquire) {
+                continue;
+            }
+            if self.ctx.global.overflow_sigs[t].maybe_contains(line) {
+                if debug_conflicts() {
+                    eprintln!("sig-hit line={} tid={} owner={t}", line.0, self.ctx.tid);
+                }
+                if !self.ctx.has_priority {
+                    return Err(Abort(()));
+                }
+                // Priority: doom the filter's owner and wait for it to
+                // finish rolling back.
+                let mut spins = 0u32;
+                while self.ctx.global.active[t].load(Ordering::Acquire)
+                    && self.ctx.global.overflow_sigs[t].maybe_contains(line)
+                {
+                    self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
+                    self.ctx.charge_tm(20);
+                    spins += 1;
+                    if spins > 100_000 {
+                        return Err(Abort(()));
+                    }
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn htm_eager_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        self.check_doomed()?;
+        let line = addr.line();
+        if !self.ctx.txn.read_lines.contains(&line.0) && !self.ctx.txn.write_lines.contains(&line.0)
+        {
+            self.check_overflow_sigs(line)?;
+            let occ = self.ctx.global.directory.add_reader(line, self.ctx.tid);
+            self.ctx.txn.dir_lines.push(line.0);
+            let conflicts = occ.other_writers(self.ctx.tid);
+            if conflicts != 0 {
+                self.resolve_eager(line, conflicts)?;
+            }
+            self.cache_insert_eager(line);
+            self.ctx.txn.read_lines.insert(line.0);
+        }
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(self.ctx.global.heap.raw_load(addr))
+    }
+
+    fn htm_eager_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.check_doomed()?;
+        let line = addr.line();
+        if !self.ctx.txn.write_lines.contains(&line.0) {
+            self.check_overflow_sigs(line)?;
+            let occ = self.ctx.global.directory.add_writer(line, self.ctx.tid);
+            self.ctx.txn.dir_lines.push(line.0);
+            let conflicts = occ.others(self.ctx.tid);
+            if conflicts != 0 {
+                self.resolve_eager(line, conflicts)?;
+            }
+            if !self.ctx.txn.read_lines.contains(&line.0) {
+                self.cache_insert_eager(line);
+            }
+            self.ctx.txn.write_lines.insert(line.0);
+        }
+        let prev = self.ctx.global.heap.raw_load(addr);
+        self.ctx.txn.undo.push((addr.0, prev));
+        self.ctx.global.heap.raw_store(addr, value);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(())
+    }
+
+    // ----- hybrids (SigTM-style) ----------------------------------------
+
+    fn hyb_lazy_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        self.check_doomed()?;
+        let cost = self.ctx.global.config.cost.hybrid_read;
+        self.ctx.charge_tm(cost);
+        if let Some(&v) = self.ctx.txn.write_map.get(&addr.0) {
+            return Ok(v);
+        }
+        let line = addr.line();
+        if !self.ctx.txn.read_lines.contains(&line.0) {
+            self.ctx.global.read_sigs[self.ctx.tid].insert(line);
+            self.ctx.txn.read_lines.insert(line.0);
+        }
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(self.ctx.global.heap.raw_load(addr))
+    }
+
+    fn hyb_lazy_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        self.check_doomed()?;
+        let cost = self.ctx.global.config.cost.hybrid_write;
+        self.ctx.charge_tm(cost);
+        let line = addr.line();
+        if !self.ctx.txn.write_lines.contains(&line.0) {
+            self.ctx.global.write_sigs[self.ctx.tid].insert(line);
+            self.ctx.txn.write_lines.insert(line.0);
+        }
+        self.ctx.txn.write_map.insert(addr.0, value);
+        Ok(())
+    }
+
+    fn hyb_eager_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        use std::sync::atomic::Ordering;
+        let cost = self.ctx.global.config.cost.hybrid_read;
+        self.ctx.charge_tm(cost);
+        let line = addr.line();
+        if !self.ctx.txn.read_lines.contains(&line.0) && !self.ctx.txn.write_lines.contains(&line.0)
+        {
+            self.ctx.global.read_sigs[self.ctx.tid].insert(line);
+            self.ctx.txn.read_lines.insert(line.0);
+            let n = self.ctx.global.config.threads;
+            for t in 0..n {
+                if t != self.ctx.tid
+                    && self.ctx.global.active[t].load(Ordering::Acquire)
+                    && self.ctx.global.write_sigs[t].maybe_contains(line)
+                {
+                    return Err(Abort(())); // requester loses; backoff breaks ties
+                }
+            }
+        }
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(self.ctx.global.heap.raw_load(addr))
+    }
+
+    fn hyb_eager_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        use std::sync::atomic::Ordering;
+        let cost = self.ctx.global.config.cost.hybrid_write;
+        self.ctx.charge_tm(cost);
+        let line = addr.line();
+        if !self.ctx.txn.write_lines.contains(&line.0) {
+            self.ctx.global.write_sigs[self.ctx.tid].insert(line);
+            self.ctx.txn.write_lines.insert(line.0);
+            let n = self.ctx.global.config.threads;
+            for t in 0..n {
+                if t != self.ctx.tid && self.ctx.global.active[t].load(Ordering::Acquire) {
+                    let sig_hit = self.ctx.global.write_sigs[t].maybe_contains(line)
+                        || self.ctx.global.read_sigs[t].maybe_contains(line);
+                    if sig_hit {
+                        return Err(Abort(()));
+                    }
+                }
+            }
+        }
+        let prev = self.ctx.global.heap.raw_load(addr);
+        self.ctx.txn.undo.push((addr.0, prev));
+        self.ctx.global.heap.raw_store(addr, value);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(())
+    }
+
+    // ----- commit / rollback ---------------------------------------------
+
+    pub(crate) fn try_commit(&mut self) -> TxResult<()> {
+        let result = match self.ctx.global.config.system {
+            SystemKind::Sequential => Ok(()),
+            SystemKind::GlobalLock => {
+                self.ctx.global.commit_token.release();
+                Ok(())
+            }
+            SystemKind::LazyStm => self.commit_lazy_stm(),
+            SystemKind::EagerStm => self.commit_eager_stm(),
+            SystemKind::LazyHtm => self.commit_lazy_htm(),
+            SystemKind::EagerHtm => self.commit_eager_htm(),
+            SystemKind::LazyHybrid => self.commit_lazy_hybrid(),
+            SystemKind::EagerHybrid => self.commit_eager_hybrid(),
+        };
+        if result.is_err() {
+            self.rollback();
+        }
+        result
+    }
+
+    /// TL2 read-set validation. `acquired` holds (index, pre-lock
+    /// version) pairs, sorted by index, for locks this commit acquired:
+    /// a read entry locked by ourselves is valid only if the version the
+    /// lock held *before we acquired it* is no newer than `rv`. (Eager
+    /// STM passes an empty slice: it version-checks at acquisition.)
+    fn validate_read_set(&self, acquired: &[(u32, u64)]) -> bool {
+        let rv = self.ctx.txn.rv;
+        for &idx in &self.ctx.txn.read_locks {
+            match self.ctx.global.locks.load(idx) {
+                LockWord::Locked { owner } if owner == self.ctx.tid => {
+                    if let Ok(pos) = acquired.binary_search_by_key(&idx, |&(i, _)| i) {
+                        if acquired[pos].1 > rv {
+                            return false;
+                        }
+                    }
+                }
+                LockWord::Locked { .. } => return false,
+                LockWord::Unlocked { version } => {
+                    if version > rv {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn commit_lazy_stm(&mut self) -> TxResult<()> {
+        let fixed = self
+            .ctx
+            .global
+            .config
+            .cost
+            .txn_fixed_for(self.ctx.global.config.system);
+        self.ctx.charge_tm(fixed);
+        if self.ctx.txn.write_map.is_empty() {
+            return Ok(()); // read-only: rv-consistent by TL2 validation
+        }
+        // Lock the write set in index order (deadlock-free; any failure
+        // aborts).
+        let mut idxs: Vec<u32> = self
+            .ctx
+            .txn
+            .write_map
+            .keys()
+            .map(|&a| self.ctx.global.locks.index_of(WordAddr(a)))
+            .collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let mut acquired: Vec<(u32, u64)> = Vec::with_capacity(idxs.len());
+        for &idx in &idxs {
+            match self.ctx.global.locks.try_lock(idx, self.ctx.tid) {
+                Ok(saved) => acquired.push((idx, saved)),
+                Err(_) => {
+                    for &(i, v) in &acquired {
+                        self.ctx.global.locks.unlock(i, v);
+                    }
+                    return Err(Abort(()));
+                }
+            }
+        }
+        let wv = self.ctx.global.clock.increment();
+        if wv > self.ctx.txn.rv + 1 && !self.validate_read_set(&acquired) {
+            for &(i, v) in &acquired {
+                self.ctx.global.locks.unlock(i, v);
+            }
+            return Err(Abort(()));
+        }
+        let cost = self.ctx.global.config.cost;
+        let entries: Vec<(u64, u64)> = self
+            .ctx
+            .txn
+            .write_map
+            .iter()
+            .map(|(&a, &v)| (a, v))
+            .collect();
+        for (a, v) in entries {
+            let addr = WordAddr(a);
+            self.ctx.global.heap.raw_store(addr, v);
+            let c = self.ctx.mem_cost(addr.line());
+            self.ctx.charge_app(c);
+            self.ctx.charge_tm(cost.commit_per_write);
+        }
+        self.ctx
+            .charge_tm(cost.commit_per_read * self.ctx.txn.read_locks.len() as u64);
+        for &(i, _) in &acquired {
+            self.ctx.global.locks.unlock(i, wv);
+        }
+        Ok(())
+    }
+
+    fn commit_eager_stm(&mut self) -> TxResult<()> {
+        let cost = self.ctx.global.config.cost;
+        self.ctx
+            .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
+        let wv = self.ctx.global.clock.increment();
+        if wv > self.ctx.txn.rv + 1 && !self.validate_read_set(&[]) {
+            return Err(Abort(())); // rollback (in try_commit) undoes and releases
+        }
+        self.ctx
+            .charge_tm(cost.commit_per_read * self.ctx.txn.read_locks.len() as u64);
+        for &(idx, _) in &self.ctx.txn.held_locks {
+            self.ctx.global.locks.unlock(idx, wv);
+        }
+        self.ctx.txn.held_locks.clear();
+        self.ctx.txn.undo.clear();
+        Ok(())
+    }
+
+    fn commit_lazy_htm(&mut self) -> TxResult<()> {
+        use std::sync::atomic::Ordering;
+        self.check_doomed()?;
+        if self.ctx.txn.write_map.is_empty() && !self.ctx.txn.serialized {
+            self.read_only_fence()?;
+            self.release_directory_entries();
+            let fixed = self
+                .ctx
+                .global
+                .config
+                .cost
+                .txn_fixed_for(self.ctx.global.config.system);
+            self.ctx.charge_tm(fixed);
+            return Ok(());
+        }
+        if !self.ctx.txn.serialized {
+            self.acquire_commit_token()?;
+            self.ctx.txn.serialized = true; // rollback must release it now
+        }
+        if self.is_doomed() {
+            return Err(Abort(()));
+        }
+        // Group buffered writes by line and apply each line atomically
+        // with its victim scan (doom-then-apply under the shard lock).
+        let mut entries: Vec<(u64, u64)> = self
+            .ctx
+            .txn
+            .write_map
+            .iter()
+            .map(|(&a, &v)| (a, v))
+            .collect();
+        entries.sort_unstable_by_key(|&(a, _)| a);
+        let cost = self.ctx.global.config.cost;
+        let mut i = 0;
+        while i < entries.len() {
+            let line = WordAddr(entries[i].0).line();
+            let mut j = i;
+            while j < entries.len() && WordAddr(entries[j].0).line() == line {
+                j += 1;
+            }
+            let heap = &self.ctx.global.heap;
+            let slice = &entries[i..j];
+            let victims = self
+                .ctx
+                .global
+                .directory
+                .commit_line(line, self.ctx.tid, || {
+                    for &(a, v) in slice {
+                        heap.raw_store(WordAddr(a), v);
+                    }
+                });
+            let mut mask = victims;
+            while mask != 0 {
+                let t = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
+            }
+            let c = self.ctx.mem_cost(line);
+            self.ctx.charge_app(c);
+            self.ctx.charge_tm(cost.htm_commit_per_line);
+            i = j;
+        }
+        self.release_directory_entries();
+        self.ctx.global.commit_token.release();
+        self.ctx.txn.serialized = false;
+        self.ctx
+            .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
+        Ok(())
+    }
+
+    fn commit_eager_htm(&mut self) -> TxResult<()> {
+        self.check_doomed()?;
+        self.release_directory_entries();
+        self.ctx.global.overflow_sigs[self.ctx.tid].clear();
+        self.ctx.txn.undo.clear();
+        let fixed = self
+            .ctx
+            .global
+            .config
+            .cost
+            .txn_fixed_for(self.ctx.global.config.system);
+        self.ctx.charge_tm(fixed);
+        Ok(())
+    }
+
+    /// Doom every active transaction whose signature intersects this
+    /// commit's write lines.
+    fn scan_and_doom(&self, lines: &[u64]) {
+        use std::sync::atomic::Ordering;
+        let n = self.ctx.global.config.threads;
+        for t in 0..n {
+            if t == self.ctx.tid || !self.ctx.global.active[t].load(Ordering::Acquire) {
+                continue;
+            }
+            for &l in lines {
+                let line = LineAddr(l);
+                if self.ctx.global.read_sigs[t].maybe_contains(line)
+                    || self.ctx.global.write_sigs[t].maybe_contains(line)
+                {
+                    self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn commit_lazy_hybrid(&mut self) -> TxResult<()> {
+        use std::sync::atomic::Ordering;
+        self.check_doomed()?;
+        let cost = self.ctx.global.config.cost;
+        if self.ctx.txn.write_map.is_empty() {
+            self.read_only_fence()?;
+            self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
+            self.ctx.global.read_sigs[self.ctx.tid].clear();
+            self.ctx.global.write_sigs[self.ctx.tid].clear();
+            self.ctx
+                .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
+            return Ok(());
+        }
+        self.acquire_commit_token()?;
+        if self.is_doomed() {
+            self.ctx.global.commit_token.release();
+            return Err(Abort(()));
+        }
+        let lines: Vec<u64> = self.ctx.txn.write_lines.iter().copied().collect();
+        // Doom–apply–doom: any reader that slips between the scans still
+        // gets doomed by the second scan, so no zombie survives.
+        self.scan_and_doom(&lines);
+        let entries: Vec<(u64, u64)> = self
+            .ctx
+            .txn
+            .write_map
+            .iter()
+            .map(|(&a, &v)| (a, v))
+            .collect();
+        for (a, v) in entries {
+            let addr = WordAddr(a);
+            self.ctx.global.heap.raw_store(addr, v);
+            let c = self.ctx.mem_cost(addr.line());
+            self.ctx.charge_app(c);
+            self.ctx.charge_tm(cost.commit_per_write);
+        }
+        self.scan_and_doom(&lines);
+        // Mark inactive and clear signatures *before* releasing the
+        // token: committed lines no longer conflict with anyone.
+        self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
+        self.ctx.global.read_sigs[self.ctx.tid].clear();
+        self.ctx.global.write_sigs[self.ctx.tid].clear();
+        self.ctx.global.commit_token.release();
+        self.ctx
+            .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
+        Ok(())
+    }
+
+    fn commit_eager_hybrid(&mut self) -> TxResult<()> {
+        use std::sync::atomic::Ordering;
+        // Conflicts were resolved at encounter time; nothing to validate.
+        // Mark inactive first, then clear signatures: observers check the
+        // active flag before the signature, and our writes are committed
+        // (in place) either way.
+        self.ctx.txn.undo.clear();
+        self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
+        self.ctx.global.read_sigs[self.ctx.tid].clear();
+        self.ctx.global.write_sigs[self.ctx.tid].clear();
+        let fixed = self
+            .ctx
+            .global
+            .config
+            .cost
+            .txn_fixed_for(self.ctx.global.config.system);
+        self.ctx.charge_tm(fixed);
+        Ok(())
+    }
+
+    fn release_directory_entries(&mut self) {
+        let tid = self.ctx.tid;
+        for &l in &self.ctx.txn.dir_lines {
+            self.ctx.global.directory.remove(LineAddr(l), tid);
+        }
+        self.ctx.txn.dir_lines.clear();
+    }
+
+    /// Undo all side effects of the current attempt. Called on every
+    /// abort path; also used by `try_commit` on failure. Idempotent.
+    pub(crate) fn rollback(&mut self) {
+        use std::sync::atomic::Ordering;
+        let sys = self.ctx.global.config.system;
+        if sys == SystemKind::GlobalLock {
+            // Writes were applied in place under the lock; there is no
+            // log to roll back. Explicit aborts are a programming error
+            // in lock-based execution.
+            self.ctx.global.commit_token.release();
+            panic!("explicit transaction abort under GlobalLock leaves partial writes");
+        }
+        let cost = self.ctx.global.config.cost;
+        // 1. Restore memory (eager systems), newest first.
+        if !self.ctx.txn.undo.is_empty() {
+            let undo = std::mem::take(&mut self.ctx.txn.undo);
+            for &(a, v) in undo.iter().rev() {
+                self.ctx.global.heap.raw_store(WordAddr(a), v);
+            }
+            self.ctx.charge_tm(cost.abort_per_undo * undo.len() as u64);
+        }
+        // 2. Release STM locks, restoring their pre-lock versions.
+        if !self.ctx.txn.held_locks.is_empty() {
+            let held = std::mem::take(&mut self.ctx.txn.held_locks);
+            for &(idx, saved) in &held {
+                self.ctx.global.locks.unlock(idx, saved);
+            }
+        }
+        // 3. Clear coherence / signature state.
+        match sys {
+            SystemKind::LazyHtm | SystemKind::EagerHtm => {
+                self.release_directory_entries();
+                if sys == SystemKind::EagerHtm {
+                    self.ctx.global.overflow_sigs[self.ctx.tid].clear();
+                }
+                if self.ctx.txn.serialized {
+                    self.ctx.global.commit_token.release();
+                    self.ctx.txn.serialized = false;
+                }
+            }
+            SystemKind::LazyHybrid | SystemKind::EagerHybrid => {
+                self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
+                self.ctx.global.read_sigs[self.ctx.tid].clear();
+                self.ctx.global.write_sigs[self.ctx.tid].clear();
+            }
+            _ => {}
+        }
+        self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("tid", &self.ctx.tid)
+            .field("system", &self.ctx.global.config.system)
+            .field("read_barriers", &self.ctx.txn.read_barriers)
+            .field("write_barriers", &self.ctx.txn.write_barriers)
+            .finish()
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the engine's building blocks.
+
+use proptest::prelude::*;
+use tm::addr::{LineAddr, WordAddr};
+use tm::config::Granularity;
+use tm::locks::{GlobalClock, LockTable, LockWord};
+use tm::signature::Signature;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The signature never produces a false negative, for any insert
+    /// set and any probe drawn from it.
+    #[test]
+    fn signature_no_false_negatives(
+        lines in prop::collection::vec(0u64..1_000_000, 1..300),
+        probe_idx in 0usize..300,
+    ) {
+        let sig = Signature::new(2048);
+        for &l in &lines {
+            sig.insert(LineAddr(l));
+        }
+        let probe = lines[probe_idx % lines.len()];
+        prop_assert!(sig.maybe_contains(LineAddr(probe)));
+    }
+
+    /// Clearing a signature removes every member.
+    #[test]
+    fn signature_clear_is_total(lines in prop::collection::vec(0u64..100_000, 1..200)) {
+        let sig = Signature::new(1024);
+        for &l in &lines {
+            sig.insert(LineAddr(l));
+        }
+        sig.clear();
+        prop_assert!(sig.is_empty());
+        prop_assert_eq!(sig.popcount(), 0);
+    }
+
+    /// Lock-table round trip: lock, observe owner, unlock with a new
+    /// version, observe the version — under any address and owner.
+    #[test]
+    fn lock_table_roundtrip(addr in 4u64..1_000_000, owner in 0usize..32, version in 0u64..1_000_000) {
+        let table = LockTable::new(12, Granularity::Word);
+        let idx = table.index_of(WordAddr(addr));
+        prop_assert_eq!(table.try_lock(idx, owner), Ok(0));
+        prop_assert_eq!(table.load(idx), LockWord::Locked { owner });
+        // A second lock attempt by anyone fails.
+        prop_assert!(table.try_lock(idx, (owner + 1) % 32).is_err());
+        table.unlock(idx, version);
+        prop_assert_eq!(table.load(idx), LockWord::Unlocked { version });
+    }
+
+    /// Line granularity maps all four words of a line to one entry;
+    /// word granularity almost always separates them.
+    #[test]
+    fn granularity_mapping(line in 1u64..1_000_000) {
+        let line_table = LockTable::new(16, Granularity::Line);
+        let base = WordAddr(line * 4);
+        let idx = line_table.index_of(base);
+        for off in 1..4 {
+            prop_assert_eq!(line_table.index_of(base.offset(off)), idx);
+        }
+        prop_assert_ne!(line_table.index_of(base.offset(4)), idx);
+    }
+
+    /// The global clock is strictly monotonic over arbitrary increment
+    /// counts.
+    #[test]
+    fn clock_monotonic(increments in 1usize..2000) {
+        let clock = GlobalClock::new();
+        let mut last = clock.read();
+        for _ in 0..increments {
+            let next = clock.increment();
+            prop_assert!(next > last);
+            last = next;
+        }
+    }
+
+    /// Word/line address arithmetic: offset distributes over lines.
+    #[test]
+    fn addr_arithmetic(word in 4u64..1_000_000, off in 0u64..1000) {
+        let a = WordAddr(word);
+        prop_assert_eq!(a.offset(off).0, word + off);
+        prop_assert_eq!(a.line().0, word * 8 / 32);
+        let same_line = a.offset(off).line() == a.line();
+        prop_assert_eq!(same_line, (word + off) / 4 == word / 4);
+    }
+}
+
+/// Transactional increments with random per-case thread/iteration
+/// shapes: the counter is always exact (atomicity under arbitrary
+/// schedules).
+#[test]
+fn random_shapes_counter() {
+    use tm::{SystemKind, TmConfig, TmRuntime};
+    let mut seed = 0x5eedu64;
+    for _ in 0..6 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let threads = 1 + (seed >> 20) as usize % 8;
+        let iters = 20 + (seed >> 40) % 200;
+        let sys = SystemKind::ALL_TM[(seed >> 10) as usize % 6];
+        let rt = TmRuntime::new(TmConfig::new(sys, threads).seed(seed));
+        let cell = rt.heap().alloc_cell(0u64);
+        rt.run(|ctx| {
+            for _ in 0..iters {
+                ctx.atomic(|txn| {
+                    let v = txn.read(&cell)?;
+                    txn.write(&cell, v + 1)
+                });
+            }
+        });
+        assert_eq!(
+            rt.heap().load_cell(&cell),
+            threads as u64 * iters,
+            "lost update: sys={sys} threads={threads} iters={iters}"
+        );
+    }
+}

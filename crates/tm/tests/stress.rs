@@ -1,0 +1,245 @@
+//! Stress tests: randomized workloads hammering each TM system's
+//! correctness properties — invariant preservation under heavy
+//! contention, pointer-chasing with concurrent structural mutation
+//! (zombie hunting), and capacity/overflow edge cases.
+
+use tm::{SystemKind, TmConfig, TmRuntime, WordAddr};
+
+/// Ring of cells where each transaction moves a token between random
+/// slots; the number of tokens is invariant and checked concurrently.
+#[test]
+fn token_ring_conserves_tokens() {
+    for sys in SystemKind::ALL_TM {
+        let rt = TmRuntime::new(TmConfig::new(sys, 6).quantum(100).seed(99));
+        const SLOTS: u64 = 16;
+        const TOKENS: u64 = 64;
+        let ring = rt.heap().alloc_array::<u64>(SLOTS, TOKENS / SLOTS);
+        rt.run(|ctx| {
+            if ctx.tid() == 0 {
+                // Auditor: total must always be TOKENS.
+                for _ in 0..150 {
+                    let total = ctx.atomic(|txn| {
+                        let mut t = 0;
+                        for i in 0..SLOTS {
+                            t += txn.read_idx(&ring, i)?;
+                        }
+                        Ok(t)
+                    });
+                    assert_eq!(total, TOKENS, "token leak under {sys}");
+                    ctx.work(40);
+                }
+            } else {
+                for _ in 0..150 {
+                    let from = ctx.rand_below(SLOTS);
+                    let to = (from + 1 + ctx.rand_below(SLOTS - 1)) % SLOTS;
+                    ctx.atomic(|txn| {
+                        let f = txn.read_idx(&ring, from)?;
+                        if f > 0 {
+                            let t = txn.read_idx(&ring, to)?;
+                            txn.write_idx(&ring, from, f - 1)?;
+                            txn.write_idx(&ring, to, t + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            }
+        });
+        let total: u64 = (0..SLOTS).map(|i| rt.heap().load_elem(&ring, i)).sum();
+        assert_eq!(total, TOKENS, "final token count under {sys}");
+    }
+}
+
+/// Pointer chasing with concurrent relinking: threads repeatedly walk a
+/// linked ring while others splice nodes in and out. Doomed (zombie)
+/// walks must abort rather than crash or loop forever — this is the
+/// regression test for the engine's doomed-flag guarantees.
+#[test]
+fn linked_ring_relinking_survives_zombies() {
+    for sys in SystemKind::ALL_TM {
+        let rt = TmRuntime::new(TmConfig::new(sys, 4).quantum(80).seed(5));
+        // Nodes: [next, payload]; build a ring of 8 nodes plus 8 spares.
+        let heap = rt.heap();
+        let nodes: Vec<WordAddr> = (0..16).map(|_| heap.alloc_words(2)).collect();
+        for i in 0..8 {
+            heap.raw_store(nodes[i], nodes[(i + 1) % 8].0);
+            heap.raw_store(nodes[i].offset(1), i as u64);
+        }
+        let head = heap.alloc_cell(nodes[0].0);
+        let spares = heap.alloc_array::<u64>(8, 0);
+        for i in 0..8 {
+            heap.store_elem(&spares, i, nodes[8 + i as usize].0);
+        }
+        rt.run(|ctx| {
+            let tid = ctx.tid();
+            for round in 0..60u64 {
+                if tid % 2 == 0 {
+                    // Walker: traverse up to 32 hops, counting nodes.
+                    let hops = ctx.atomic(|txn| {
+                        let mut cur = WordAddr(txn.read(&head)?);
+                        let mut hops = 0;
+                        while hops < 32 && !cur.is_null() {
+                            cur = WordAddr(txn.read_word(cur)?);
+                            hops += 1;
+                        }
+                        Ok(hops)
+                    });
+                    assert!(hops > 0);
+                } else {
+                    // Relinker: splice a spare node after the head, or
+                    // unsplice the head's successor.
+                    let spare_idx = round % 8;
+                    ctx.atomic(|txn| {
+                        let h = WordAddr(txn.read(&head)?);
+                        let succ = txn.read_word(h)?;
+                        if round % 2 == 0 {
+                            let spare = WordAddr(txn.read_idx(&spares, spare_idx)?);
+                            if spare.is_null() {
+                                return Ok(());
+                            }
+                            txn.write_word(spare, succ)?;
+                            txn.write_word(h, spare.0)?;
+                            txn.write_idx(&spares, spare_idx, 0)?;
+                        } else {
+                            // Unsplice succ (keep at least 2 nodes).
+                            let succ_next = txn.read_word(WordAddr(succ))?;
+                            if succ_next != 0 && succ != txn.read(&head)? {
+                                txn.write_word(h, succ_next)?;
+                                txn.write_idx(&spares, spare_idx, succ)?;
+                            }
+                        }
+                        Ok(())
+                    });
+                }
+            }
+        });
+        // The ring must still be walkable.
+        let mut cur = WordAddr(rt.heap().load_cell(&head));
+        for _ in 0..64 {
+            assert!(!cur.is_null(), "ring broken under {sys}");
+            cur = WordAddr(rt.heap().raw_load(cur));
+        }
+    }
+}
+
+/// Write-heavy transactions that exceed L1 capacity on the eager HTM:
+/// undo logs must roll back completely even with Bloom-filter overflow
+/// in play.
+#[test]
+fn eager_htm_overflow_rollback() {
+    let mut cfg = TmConfig::new(SystemKind::EagerHtm, 3).quantum(500);
+    cfg.l1 = tm::CacheGeometry {
+        size_bytes: 512, // 16 lines: overflow guaranteed
+        assoc: 2,
+        line_bytes: 32,
+    };
+    let rt = TmRuntime::new(cfg);
+    let arr = rt.heap().alloc_array::<u64>(256, 7);
+    rt.run(|ctx| {
+        for round in 0..10u64 {
+            ctx.atomic(|txn| {
+                // Touch 64 lines: mostly overflowed into the signature.
+                for i in 0..64u64 {
+                    let v = txn.read_idx(&arr, i * 4)?;
+                    txn.write_idx(&arr, i * 4, v + 1)?;
+                }
+                let _ = round;
+                Ok(())
+            });
+        }
+    });
+    // 3 threads x 10 rounds x +1 per slot.
+    for i in 0..64u64 {
+        assert_eq!(rt.heap().load_elem(&arr, i * 4), 7 + 30, "slot {i}");
+    }
+    // Untouched slots unchanged.
+    assert_eq!(rt.heap().load_elem(&arr, 1), 7);
+}
+
+/// The commit token must never be leaked: after a run with forced lazy
+/// HTM overflow, new transactions still commit.
+#[test]
+fn lazy_htm_serialization_releases_token() {
+    let mut cfg = TmConfig::new(SystemKind::LazyHtm, 2);
+    cfg.l1 = tm::CacheGeometry {
+        size_bytes: 256, // 8 lines
+        assoc: 1,
+        line_bytes: 32,
+    };
+    let rt = TmRuntime::new(cfg);
+    let arr = rt.heap().alloc_array::<u64>(512, 0);
+    rt.run(|ctx| {
+        for _ in 0..5 {
+            ctx.atomic(|txn| {
+                let mut sum = 0u64;
+                for i in 0..128 {
+                    sum += txn.read_idx(&arr, i * 4)?;
+                }
+                txn.write_idx(&arr, ctx_slot(txn.tid()), sum + 1)
+            });
+        }
+        // A small transaction afterwards must not deadlock.
+        ctx.atomic(|txn| {
+            let v = txn.read_idx(&arr, 3)?;
+            txn.write_idx(&arr, 3, v + 1)
+        });
+    });
+    assert_eq!(rt.heap().load_elem(&arr, 3), 2);
+}
+
+fn ctx_slot(tid: usize) -> u64 {
+    (tid as u64 + 1) * 4
+}
+
+/// Mixed-size transactions across all systems with the cache model on:
+/// the run completes and the cache statistics are populated.
+#[test]
+fn cache_sim_populates_stats() {
+    let rt = TmRuntime::new(TmConfig::new(SystemKind::EagerStm, 2).cache_sim(true));
+    let arr = rt.heap().alloc_array::<u64>(4096, 1);
+    let report = rt.run(|ctx| {
+        for i in 0..512u64 {
+            ctx.atomic(|txn| {
+                let v = txn.read_idx(&arr, (i * 37) % 4096)?;
+                txn.write_idx(&arr, (i * 53) % 4096, v)
+            });
+        }
+    });
+    assert!(report.stats.mem_accesses > 0, "cache stats missing");
+    assert!(report.stats.miss_rate() > 0.0 && report.stats.miss_rate() <= 1.0);
+}
+
+/// Priority promotion (eager HTM) eventually lets a starved long
+/// transaction through a stream of short conflicting ones.
+#[test]
+fn eager_htm_priority_prevents_starvation() {
+    let rt = TmRuntime::new(TmConfig::new(SystemKind::EagerHtm, 4).quantum(100).seed(13));
+    let hot = rt.heap().alloc_array::<u64>(8, 0);
+    let done = rt.heap().alloc_cell(0u64);
+    rt.run(|ctx| {
+        if ctx.tid() == 0 {
+            // Long transaction touching everything.
+            ctx.atomic(|txn| {
+                let mut sum = 0;
+                for i in 0..8 {
+                    sum += txn.read_idx(&hot, i)?;
+                    txn.work(200);
+                }
+                txn.write_idx(&hot, 0, sum + 1)
+            });
+            ctx.atomic(|txn| {
+                let v = txn.read(&done)?;
+                txn.write(&done, v + 1)
+            });
+        } else {
+            // Short writers hammering the same lines.
+            for i in 0..120u64 {
+                let slot = i % 8;
+                ctx.atomic(|txn| {
+                    let v = txn.read_idx(&hot, slot)?;
+                    txn.write_idx(&hot, slot, v + 1)
+                });
+            }
+        }
+    });
+    assert_eq!(rt.heap().load_cell(&done), 1, "long transaction starved");
+}

@@ -1,0 +1,642 @@
+//! The transactional triangle mesh: a Bowyer–Watson kernel generic over
+//! [`Mem`], so the same code builds the initial Delaunay triangulation
+//! (setup) and performs the transactional cavity retriangulations of the
+//! refinement loop.
+//!
+//! Layout (all in the transactional heap):
+//!
+//! * points: 2-word nodes `[x_bits, y_bits]`; a point's *id* is its node
+//!   address (like the original's `malloc`ed coordinates — no shared
+//!   append counter to serialize insertions);
+//! * triangles: arena of 8-word nodes
+//!   `[v0, v1, v2, n0, n1, n2, alive, in_queue]`, where `n_i` is the
+//!   triangle across the edge opposite vertex `i` (0 at the mesh
+//!   boundary).
+
+use tm::txn::TxResult;
+use tm::WordAddr;
+use tm_ds::Mem;
+
+/// Triangle node field offsets.
+const V0: u64 = 0;
+const N0: u64 = 3;
+const ALIVE: u64 = 6;
+const IN_QUEUE: u64 = 7;
+/// Words per triangle node.
+pub const TRI_WORDS: u64 = 8;
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    fn sub(self, o: Point) -> Point {
+        Point {
+            x: self.x - o.x,
+            y: self.y - o.y,
+        }
+    }
+
+    fn cross(self, o: Point) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    fn dot(self, o: Point) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to `o`.
+    pub fn dist(self, o: Point) -> f64 {
+        self.sub(o).norm2().sqrt()
+    }
+}
+
+/// Twice the signed area of triangle `abc` (positive = CCW).
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    b.sub(a).cross(c.sub(a))
+}
+
+/// Whether `p` lies strictly inside the circumcircle of CCW triangle
+/// `abc` (standard in-circle determinant).
+pub fn in_circle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    let ax = a.x - p.x;
+    let ay = a.y - p.y;
+    let bx = b.x - p.x;
+    let by = b.y - p.y;
+    let cx = c.x - p.x;
+    let cy = c.y - p.y;
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > 1e-12
+}
+
+/// Circumcenter of triangle `abc`.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Point {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    let ux = (a.norm2() * (b.y - c.y) + b.norm2() * (c.y - a.y) + c.norm2() * (a.y - b.y)) / d;
+    let uy = (a.norm2() * (c.x - b.x) + b.norm2() * (a.x - c.x) + c.norm2() * (b.x - a.x)) / d;
+    Point { x: ux, y: uy }
+}
+
+/// Minimum interior angle of triangle `abc`, in degrees.
+pub fn min_angle_deg(a: Point, b: Point, c: Point) -> f64 {
+    let angle = |u: Point, v: Point, w: Point| {
+        let d1 = v.sub(u);
+        let d2 = w.sub(u);
+        let cos = (d1.dot(d2) / (d1.norm2().sqrt() * d2.norm2().sqrt())).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    };
+    angle(a, b, c).min(angle(b, c, a)).min(angle(c, a, b))
+}
+
+/// The shared mesh handle (copyable; all state lives in the heap).
+#[derive(Debug, Clone, Copy)]
+pub struct Mesh {
+    /// Domain box minimum corner.
+    pub min: Point,
+    /// Domain box maximum corner.
+    pub max: Point,
+}
+
+impl Mesh {
+    /// A mesh over the domain box `[min, max]`.
+    pub fn new(min: Point, max: Point) -> Mesh {
+        Mesh { min, max }
+    }
+
+    /// Allocate a point node; returns its id (= address).
+    pub fn add_point<M: Mem>(&self, m: &mut M, p: Point) -> TxResult<u64> {
+        let node = m.alloc_padded(2);
+        m.init(node, p.x.to_bits())?;
+        m.init(node.offset(1), p.y.to_bits())?;
+        Ok(node.0)
+    }
+
+    /// Read point `id`.
+    pub fn point<M: Mem>(&self, m: &mut M, id: u64) -> TxResult<Point> {
+        let node = WordAddr(id);
+        let x = f64::from_bits(m.read(node)?);
+        let y = f64::from_bits(m.read(node.offset(1))?);
+        Ok(Point { x, y })
+    }
+
+    /// Allocate a triangle node with vertices `v` and neighbors `n`.
+    pub fn new_triangle<M: Mem>(&self, m: &mut M, v: [u64; 3], n: [u64; 3]) -> TxResult<WordAddr> {
+        let t = m.alloc_padded(TRI_WORDS);
+        for i in 0..3 {
+            m.init(t.offset(V0 + i), v[i as usize])?;
+            m.init(t.offset(N0 + i), n[i as usize])?;
+        }
+        m.init(t.offset(ALIVE), 1)?;
+        m.init(t.offset(IN_QUEUE), 0)?;
+        Ok(t)
+    }
+
+    /// Triangle vertex ids.
+    pub fn vertices<M: Mem>(&self, m: &mut M, t: WordAddr) -> TxResult<[u64; 3]> {
+        Ok([
+            m.read(t.offset(V0))?,
+            m.read(t.offset(V0 + 1))?,
+            m.read(t.offset(V0 + 2))?,
+        ])
+    }
+
+    /// Triangle neighbor addresses (0 = boundary).
+    pub fn neighbors<M: Mem>(&self, m: &mut M, t: WordAddr) -> TxResult<[u64; 3]> {
+        Ok([
+            m.read(t.offset(N0))?,
+            m.read(t.offset(N0 + 1))?,
+            m.read(t.offset(N0 + 2))?,
+        ])
+    }
+
+    /// Whether triangle `t` is alive (not replaced by a retriangulation).
+    pub fn is_alive<M: Mem>(&self, m: &mut M, t: WordAddr) -> TxResult<bool> {
+        Ok(m.read(t.offset(ALIVE))? == 1)
+    }
+
+    /// Mark `t` dead.
+    pub fn kill<M: Mem>(&self, m: &mut M, t: WordAddr) -> TxResult<()> {
+        m.write(t.offset(ALIVE), 0)
+    }
+
+    /// Queue-membership flag (prevents duplicate work-queue entries).
+    pub fn in_queue<M: Mem>(&self, m: &mut M, t: WordAddr) -> TxResult<bool> {
+        Ok(m.read(t.offset(IN_QUEUE))? == 1)
+    }
+
+    /// Set the queue-membership flag.
+    pub fn set_in_queue<M: Mem>(&self, m: &mut M, t: WordAddr, v: bool) -> TxResult<()> {
+        m.write(t.offset(IN_QUEUE), v as u64)
+    }
+
+    /// The triangle's corner points.
+    pub fn triangle_points<M: Mem>(&self, m: &mut M, t: WordAddr) -> TxResult<[Point; 3]> {
+        let v = self.vertices(m, t)?;
+        Ok([
+            self.point(m, v[0])?,
+            self.point(m, v[1])?,
+            self.point(m, v[2])?,
+        ])
+    }
+
+    /// Whether point `p` is strictly inside the circumcircle of `t`.
+    pub fn conflicts<M: Mem>(&self, m: &mut M, t: WordAddr, p: Point) -> TxResult<bool> {
+        let [a, b, c] = self.triangle_points(m, t)?;
+        m.work(90);
+        Ok(in_circle(a, b, c, p))
+    }
+
+    /// Walk from `start` to a triangle whose circumcircle contains `p`
+    /// (setup-time point location for the initial triangulation build).
+    /// Returns `None` if the walk escapes the mesh.
+    pub fn locate<M: Mem>(
+        &self,
+        m: &mut M,
+        start: WordAddr,
+        p: Point,
+    ) -> TxResult<Option<WordAddr>> {
+        let mut t = start;
+        for _ in 0..100_000 {
+            if self.conflicts(m, t, p)? {
+                return Ok(Some(t));
+            }
+            // Move toward p: cross the first edge that separates t from p.
+            let v = self.vertices(m, t)?;
+            let n = self.neighbors(m, t)?;
+            let pts = [
+                self.point(m, v[0])?,
+                self.point(m, v[1])?,
+                self.point(m, v[2])?,
+            ];
+            let mut moved = false;
+            for i in 0..3 {
+                // Edge opposite vertex i is (v[i+1], v[i+2]).
+                let a = pts[(i + 1) % 3];
+                let b = pts[(i + 2) % 3];
+                if orient2d(a, b, p) < 0.0 {
+                    if n[i] == 0 {
+                        return Ok(None); // escaped the domain
+                    }
+                    t = WordAddr(n[i]);
+                    moved = true;
+                    break;
+                }
+            }
+            m.work(30);
+            if !moved {
+                // p inside t but not in its circumcircle: numerically
+                // impossible for a true triangle; treat as conflict.
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Insert point `p` by cavity retriangulation (Bowyer–Watson),
+    /// seeded at conflicting triangle `seed`. Returns the new triangles,
+    /// or `None` if the insertion was rejected (degenerate cavity or `p`
+    /// duplicating an existing vertex).
+    ///
+    /// # Errors
+    ///
+    /// Aborts the transaction when it observes torn links (possible only
+    /// for doomed transactions).
+    pub fn insert_point<M: Mem>(
+        &self,
+        m: &mut M,
+        seed: WordAddr,
+        p: Point,
+    ) -> TxResult<Option<Vec<WordAddr>>> {
+        // 1. The cavity: conflicting triangles reachable from seed.
+        let mut cavity = vec![seed];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(seed.0);
+        let mut stack = vec![seed];
+        while let Some(t) = stack.pop() {
+            for nb in self.neighbors(m, t)? {
+                if nb == 0 || !seen.insert(nb) {
+                    continue;
+                }
+                let nb_addr = WordAddr(nb);
+                if self.conflicts(m, nb_addr, p)? {
+                    cavity.push(nb_addr);
+                    stack.push(nb_addr);
+                }
+            }
+            m.work(30);
+            if cavity.len() > 10_000 {
+                return Ok(None); // runaway cavity: reject (zombie guard)
+            }
+        }
+        // 2. Boundary edges (va, vb, outside) with the cavity on the
+        // left of va->vb (triangles are CCW).
+        let cavity_set: std::collections::HashSet<u64> = cavity.iter().map(|t| t.0).collect();
+        let mut boundary: Vec<(u64, u64, u64)> = Vec::new();
+        for &t in &cavity {
+            let v = self.vertices(m, t)?;
+            let n = self.neighbors(m, t)?;
+            for i in 0..3 {
+                let out = n[i];
+                if out == 0 || !cavity_set.contains(&out) {
+                    boundary.push((v[(i + 1) % 3], v[(i + 2) % 3], out));
+                }
+            }
+        }
+        if boundary.len() < 3 {
+            return Ok(None);
+        }
+        // p must be strictly inside the cavity (star-shaped
+        // retriangulation) and distinct from its vertices.
+        for &(va, vb, _) in &boundary {
+            let a = self.point(m, va)?;
+            let b = self.point(m, vb)?;
+            m.work(35);
+            if a.dist(p) < 1e-9 || b.dist(p) < 1e-9 || orient2d(a, b, p) <= 1e-12 {
+                return Ok(None);
+            }
+        }
+        // 3. The new point and one new triangle per boundary edge.
+        let pid = self.add_point(m, p)?;
+        let mut new_tris = Vec::with_capacity(boundary.len());
+        for &(va, vb, out) in &boundary {
+            let t = self.new_triangle(m, [pid, va, vb], [out, 0, 0])?;
+            if out != 0 {
+                self.relink_outside(m, WordAddr(out), va, vb, t.0)?;
+            }
+            new_tris.push((t, va, vb));
+        }
+        // 4. Link the fan around p: the triangle with edge (va, vb)
+        // shares edge (p, vb) with its successor (slot 1, opposite va)
+        // and edge (p, va) with its predecessor (slot 2, opposite vb).
+        for &(t, va, vb) in &new_tris {
+            for &(u, ua, ub) in &new_tris {
+                if u == t {
+                    continue;
+                }
+                if ua == vb {
+                    m.write(t.offset(N0 + 1), u.0)?;
+                }
+                if ub == va {
+                    m.write(t.offset(N0 + 2), u.0)?;
+                }
+            }
+            m.work(25);
+        }
+        // 5. Retire the cavity.
+        for &t in &cavity {
+            self.kill(m, t)?;
+        }
+        Ok(Some(new_tris.into_iter().map(|(t, _, _)| t).collect()))
+    }
+
+    /// Point `outside`'s neighbor slot for the shared edge `(va, vb)` at
+    /// `new_tri`. A triangle can border the cavity on more than one
+    /// edge, so the slot must be selected by edge, not by membership.
+
+    /// Walk from `start` toward `p`; if the walk would leave the mesh,
+    /// return the (triangle, edge-index) of the boundary edge it exits
+    /// through. Returns `None` when `p` is reachable inside the mesh.
+    pub fn locate_escape<M: Mem>(
+        &self,
+        m: &mut M,
+        start: WordAddr,
+        p: Point,
+    ) -> TxResult<Option<(WordAddr, usize)>> {
+        let mut t = start;
+        for _ in 0..100_000 {
+            let v = self.vertices(m, t)?;
+            let n = self.neighbors(m, t)?;
+            let pts = [
+                self.point(m, v[0])?,
+                self.point(m, v[1])?,
+                self.point(m, v[2])?,
+            ];
+            let mut moved = false;
+            for i in 0..3 {
+                let a = pts[(i + 1) % 3];
+                let b = pts[(i + 2) % 3];
+                if orient2d(a, b, p) < 0.0 {
+                    if n[i] == 0 {
+                        return Ok(Some((t, i)));
+                    }
+                    t = WordAddr(n[i]);
+                    moved = true;
+                    break;
+                }
+            }
+            m.work(30);
+            if !moved {
+                return Ok(None); // p is inside t
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ruppert segment split: insert the midpoint of `t`'s boundary edge
+    /// opposite vertex `i` (which must have no neighbor), replacing `t`
+    /// with two triangles, then restore the Delaunay property by Lawson
+    /// legalization. Returns every triangle created (the two halves plus
+    /// any produced by flips), or `None` if the split degenerates.
+    pub fn split_boundary_edge<M: Mem>(
+        &self,
+        m: &mut M,
+        t: WordAddr,
+        i: usize,
+        encroacher: Point,
+    ) -> TxResult<Option<Vec<WordAddr>>> {
+        let v = self.vertices(m, t)?;
+        let n = self.neighbors(m, t)?;
+        if n[i] != 0 {
+            return Ok(None); // not a boundary edge (stale queue entry)
+        }
+        let va = v[(i + 1) % 3];
+        let vb = v[(i + 2) % 3];
+        let vc = v[i];
+        let pa = self.point(m, va)?;
+        let pb = self.point(m, vb)?;
+        let mid = Point {
+            x: (pa.x + pb.x) / 2.0,
+            y: (pa.y + pb.y) / 2.0,
+        };
+        // Ruppert's rule: split only segments the point actually
+        // encroaches (it lies inside the segment's diametral circle),
+        // and never below a minimum length (the usual termination
+        // guard; the paper's inputs carry an equivalent area bound).
+        let half = pa.dist(pb) / 2.0;
+        if mid.dist(encroacher) >= half || half < 0.4 {
+            return Ok(None);
+        }
+        if pa.dist(mid) < 1e-9 || pb.dist(mid) < 1e-9 {
+            return Ok(None); // segment too short to split
+        }
+        let mp = self.add_point(m, mid)?;
+        m.work(60);
+        // Two halves, midpoint at v0 so legalization's suspect edge is
+        // always slot 0 (opposite the inserted vertex).
+        let nb_a = n[(i + 1) % 3]; // across (vb, vc), opposite va
+        let nb_b = n[(i + 2) % 3]; // across (vc, va), opposite vb
+        let t1 = self.new_triangle(m, [mp, vb, vc], [nb_a, 0, 0])?;
+        let t2 = self.new_triangle(m, [mp, vc, va], [nb_b, 0, 0])?;
+        // Internal link: t1's edge (vc, mp) (opposite vb = slot 1+1?):
+        // t1 = (mp, vb, vc): opposite v1=vb is edge (vc, mp) -> t2;
+        // opposite v2=vc is edge (mp, vb) -> boundary.
+        m.write(t1.offset(N0 + 1), t2.0)?;
+        // t2 = (mp, vc, va): opposite v2=va is edge (mp, vc) -> t1;
+        // opposite v1=vc is edge (va, mp) -> boundary.
+        m.write(t2.offset(N0 + 2), t1.0)?;
+        if nb_a != 0 {
+            self.relink_outside(m, WordAddr(nb_a), vb, vc, t1.0)?;
+        }
+        if nb_b != 0 {
+            self.relink_outside(m, WordAddr(nb_b), vc, va, t2.0)?;
+        }
+        self.kill(m, t)?;
+        let mut created = vec![t1, t2];
+        self.legalize(m, t1, 32, &mut created)?;
+        self.legalize(m, t2, 32, &mut created)?;
+        Ok(Some(created))
+    }
+
+    /// Lawson legalization: if the neighbor across `t`'s edge opposite
+    /// its v0 (the freshly inserted vertex) violates the empty-circle
+    /// property, flip the edge and recurse on the two new triangles.
+    /// Both triangles created by a flip keep the inserted vertex at v0,
+    /// so the suspect edge is always slot 0.
+    fn legalize<M: Mem>(
+        &self,
+        m: &mut M,
+        t: WordAddr,
+        depth: u32,
+        created: &mut Vec<WordAddr>,
+    ) -> TxResult<()> {
+        if depth == 0 || !self.is_alive(m, t)? {
+            return Ok(());
+        }
+        let n = self.neighbors(m, t)?;
+        if n[0] == 0 {
+            return Ok(());
+        }
+        let u = WordAddr(n[0]);
+        // Find u's vertex opposite the shared edge.
+        let un = self.neighbors(m, u)?;
+        let Some(j) = (0..3).find(|&j| un[j] == t.0) else {
+            // Torn link: only a doomed transaction can see this.
+            return tm::txn::abort();
+        };
+        let uv = self.vertices(m, u)?;
+        let q = uv[j];
+        let [tp0, tp1, tp2] = self.triangle_points(m, t)?;
+        let pq = self.point(m, q)?;
+        m.work(60);
+        if !in_circle(tp0, tp1, tp2, pq) {
+            return Ok(()); // already Delaunay
+        }
+        // Flip the shared edge (t.v1, t.v2) -> diagonal (t.v0, q).
+        let tv = self.vertices(m, t)?;
+        let p0 = tv[0];
+        let a = tv[1];
+        let b = tv[2];
+        // Outer neighbors: in t, across (p0, a) is opposite b (slot 2),
+        // across (b, p0) is opposite a (slot 1). In u, across (a, q) and
+        // (q, b) are opposite its other two vertices.
+        let tn = self.neighbors(m, t)?;
+        let t_ab = tn[2]; // across (p0, a)
+        let t_bp = tn[1]; // across (b, p0)
+        // u's vertex layout: u contains a, b, q with the shared edge
+        // (a, b) reversed; find indices of a and b in u.
+        let Some(ua_idx) = (0..3).find(|&k| uv[k] == a) else {
+            return tm::txn::abort();
+        };
+        let Some(ub_idx) = (0..3).find(|&k| uv[k] == b) else {
+            return tm::txn::abort();
+        };
+        let u_aq = self.neighbors(m, u)?[ub_idx]; // across (a, q), opposite b
+        let u_qb = self.neighbors(m, u)?[ua_idx]; // across (q, b), opposite a
+        // New triangles, inserted vertex first.
+        let x = self.new_triangle(m, [p0, a, q], [u_aq, 0, t_ab])?;
+        let y = self.new_triangle(m, [p0, q, b], [u_qb, t_bp, 0])?;
+        // x: opposite a (slot 1) is edge (q, p0) -> y;
+        m.write(x.offset(N0 + 1), y.0)?;
+        // y: opposite b (slot 2) is edge (p0, q) -> x.
+        m.write(y.offset(N0 + 2), x.0)?;
+        if u_aq != 0 {
+            self.relink_outside(m, WordAddr(u_aq), a, q, x.0)?;
+        }
+        if t_ab != 0 {
+            self.relink_outside(m, WordAddr(t_ab), p0, a, x.0)?;
+        }
+        if u_qb != 0 {
+            self.relink_outside(m, WordAddr(u_qb), q, b, y.0)?;
+        }
+        if t_bp != 0 {
+            self.relink_outside(m, WordAddr(t_bp), b, p0, y.0)?;
+        }
+        self.kill(m, t)?;
+        self.kill(m, u)?;
+        created.push(x);
+        created.push(y);
+        self.legalize(m, x, depth - 1, created)?;
+        self.legalize(m, y, depth - 1, created)?;
+        Ok(())
+    }
+
+    fn relink_outside<M: Mem>(
+        &self,
+        m: &mut M,
+        outside: WordAddr,
+        va: u64,
+        vb: u64,
+        new_tri: u64,
+    ) -> TxResult<()> {
+        let v = self.vertices(m, outside)?;
+        for i in 0..3usize {
+            let ea = v[(i + 1) % 3];
+            let eb = v[(i + 2) % 3];
+            if (ea == va && eb == vb) || (ea == vb && eb == va) {
+                m.write(outside.offset(N0 + i as u64), new_tri)?;
+                return Ok(());
+            }
+        }
+        // Torn links are only observable by doomed transactions.
+        tm::txn::abort()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_primitives() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 1.0, y: 0.0 };
+        let c = Point { x: 0.0, y: 1.0 };
+        assert!(orient2d(a, b, c) > 0.0, "CCW triangle");
+        assert!(orient2d(a, c, b) < 0.0, "CW triangle");
+        let cc = circumcenter(a, b, c);
+        assert!((cc.x - 0.5).abs() < 1e-12 && (cc.y - 0.5).abs() < 1e-12);
+        assert!(in_circle(a, b, c, Point { x: 0.3, y: 0.3 }));
+        assert!(!in_circle(a, b, c, Point { x: 5.0, y: 5.0 }));
+        assert!((min_angle_deg(a, b, c) - 45.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod split_tests {
+    use super::*;
+    use tm_ds::SetupMem;
+
+    /// Build a 2-triangle box mesh, split one boundary edge, and check
+    /// the result is a valid, legalized mesh.
+    #[test]
+    fn boundary_split_preserves_structure() {
+        let rt = tm::TmRuntime::new(tm::TmConfig::sequential());
+        let heap = rt.heap();
+        let mut m = SetupMem::new(heap);
+        let mesh = Mesh::new(Point { x: 0.0, y: 0.0 }, Point { x: 10.0, y: 10.0 });
+        let p0 = mesh.add_point(&mut m, Point { x: 0.0, y: 0.0 }).unwrap();
+        let p1 = mesh.add_point(&mut m, Point { x: 10.0, y: 0.0 }).unwrap();
+        let p2 = mesh.add_point(&mut m, Point { x: 10.0, y: 10.0 }).unwrap();
+        let p3 = mesh.add_point(&mut m, Point { x: 0.0, y: 10.0 }).unwrap();
+        let t1 = mesh.new_triangle(&mut m, [p0, p1, p2], [0, 0, 0]).unwrap();
+        let t2 = mesh.new_triangle(&mut m, [p0, p2, p3], [0, 0, 0]).unwrap();
+        m.write(t1.offset(3 + 1), t2.0).unwrap();
+        m.write(t2.offset(3 + 2), t1.0).unwrap();
+
+        // t1's boundary edge (p1, p2) is opposite its v0: split it with
+        // an encroaching point near its midpoint.
+        let enc = Point { x: 9.0, y: 5.0 };
+        let created = mesh
+            .split_boundary_edge(&mut m, t1, 0, enc)
+            .unwrap()
+            .expect("split must happen");
+        assert!(created.len() >= 2);
+        assert!(!mesh.is_alive(&mut m, t1).unwrap(), "old triangle retired");
+        // All alive created triangles are CCW and mutually linked.
+        for &t in &created {
+            if !mesh.is_alive(&mut m, t).unwrap() {
+                continue;
+            }
+            let pts = mesh.triangle_points(&mut m, t).unwrap();
+            assert!(orient2d(pts[0], pts[1], pts[2]) > 0.0);
+            let n = mesh.neighbors(&mut m, t).unwrap();
+            for nb in n {
+                if nb != 0 {
+                    let back = mesh.neighbors(&mut m, WordAddr(nb)).unwrap();
+                    assert!(back.contains(&t.0), "asymmetric neighbor link");
+                }
+            }
+        }
+    }
+
+    /// A non-encroaching point must not trigger a split, and a tiny
+    /// segment must never be split (termination guard).
+    #[test]
+    fn split_guards() {
+        let rt = tm::TmRuntime::new(tm::TmConfig::sequential());
+        let heap = rt.heap();
+        let mut m = SetupMem::new(heap);
+        let mesh = Mesh::new(Point { x: 0.0, y: 0.0 }, Point { x: 10.0, y: 10.0 });
+        let p0 = mesh.add_point(&mut m, Point { x: 0.0, y: 0.0 }).unwrap();
+        let p1 = mesh.add_point(&mut m, Point { x: 10.0, y: 0.0 }).unwrap();
+        let p2 = mesh.add_point(&mut m, Point { x: 5.0, y: 8.0 }).unwrap();
+        let t = mesh.new_triangle(&mut m, [p2, p0, p1], [0, 0, 0]).unwrap();
+        // Edge (p0, p1) is opposite v0 = p2. A far point does not
+        // encroach its diametral circle.
+        let far = Point { x: 5.0, y: 9.9 };
+        assert!(mesh.split_boundary_edge(&mut m, t, 0, far).unwrap().is_none());
+        // A close point does.
+        let near = Point { x: 5.0, y: 1.0 };
+        assert!(mesh.split_boundary_edge(&mut m, t, 0, near).unwrap().is_some());
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every recorded result in results/ from scratch.
+#
+# Usage: scripts/reproduce.sh [scale]
+#   scale (default 1) divides the workloads; the recorded numbers in
+#   EXPERIMENTS.md use scale 1. A full scale-1 run takes ~30-45 minutes
+#   on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-1}"
+
+mkdir -p results
+run() {
+    local out="$1"; shift
+    echo ">>> $* -> results/$out"
+    { time cargo run --release -p bench "$@" ; } > "results/$out" 2>&1
+}
+
+cargo build --release --workspace
+
+run table6.txt                 --bin table6 -- --scale "$SCALE"
+run figure1.txt                --bin figure1 -- --scale "$SCALE"
+run table3.txt                 --bin table3 -- --scale 4
+run working_sets.txt           --bin table6 -- --scale 4 --working-sets \
+                               --variants kmeans-high,ssca2,vacation-low,genome,bayes
+run ablation_backoff.txt       --bin ablation_backoff -- --scale 2
+run ablation_granularity.txt   --bin ablation_granularity -- --scale 2
+run ablation_earlyrelease.txt  --bin ablation_earlyrelease
+run ablation_sigsize.txt       --bin ablation_sigsize -- --scale 4
+run ablation_stall.txt         --bin ablation_stall -- --scale 2
+run ablation_bayes_backend.txt --bin ablation_bayes_backend
+
+echo "all results regenerated (scale $SCALE)"

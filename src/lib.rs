@@ -1,0 +1,57 @@
+//! # stamp — a Rust reproduction of the STAMP benchmark suite
+//!
+//! STAMP (*Stanford Transactional Applications for Multi-Processing*,
+//! Cao Minh, Chung, Kozyrakis, Olukotun — IISWC 2008) is the standard
+//! benchmark suite for evaluating transactional-memory systems: eight
+//! applications spanning machine learning, bioinformatics, security,
+//! data mining, engineering, scientific computing, and OLTP, with 30
+//! recommended configurations covering short/long transactions,
+//! small/large read–write sets, and low/high contention.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`tm`] — the TM engine: the six system designs of the paper's
+//!   evaluation (lazy/eager HTM, STM, hybrid) over a simulated 1–16
+//!   processor machine (Table V cost model);
+//! * [`ds`] — the transactional data structures (lists, queues, hash
+//!   tables, red-black trees, heaps, vectors, bitmaps);
+//! * [`util`] — the MT19937 PRNG, the Table IV variant registry, and
+//!   CLI helpers;
+//! * the eight applications: [`bayes`], [`genome`], [`intruder`],
+//!   [`kmeans`], [`labyrinth`], [`ssca2`], [`vacation`], [`yada`].
+//!
+//! See the repository README for the architecture tour, `DESIGN.md` for
+//! the substitution ledger, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record. The `examples/` directory contains
+//! runnable scenarios (`quickstart`, `travel_reservation`,
+//! `maze_router`, `genome_assembly`); the `bench` crate regenerates
+//! every table and figure of the paper.
+//!
+//! ```
+//! use stamp::tm::{SystemKind, TmConfig, TmRuntime};
+//!
+//! let rt = TmRuntime::new(TmConfig::new(SystemKind::LazyStm, 4));
+//! let cell = rt.heap().alloc_cell(0u64);
+//! rt.run(|ctx| {
+//!     ctx.atomic(|txn| {
+//!         let v = txn.read(&cell)?;
+//!         txn.write(&cell, v + 1)
+//!     });
+//! });
+//! assert_eq!(rt.heap().load_cell(&cell), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use stamp_util as util;
+pub use tm;
+pub use tm_ds as ds;
+
+pub use bayes;
+pub use genome;
+pub use intruder;
+pub use kmeans;
+pub use labyrinth;
+pub use ssca2;
+pub use vacation;
+pub use yada;
