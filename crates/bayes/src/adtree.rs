@@ -79,6 +79,7 @@ impl AdTree {
         })
     }
 
+    #[allow(clippy::only_used_in_recursion)]
     fn make_node<M: Mem>(
         m: &mut M,
         records: &[u64],

@@ -298,14 +298,13 @@ fn tm_local_score(
     // merge the child in order.
     let mut sorted: Vec<u32> = parents.to_vec();
     sorted.sort_unstable();
-    for cfg in 0..n_cfg {
+    for (cfg, row) in counts.iter_mut().enumerate() {
         for x in 0..2u64 {
             let mut conds: Vec<(u32, u64)> = Vec::with_capacity(k + 1);
-            for (i, &p) in sorted.iter().enumerate() {
+            for &p in &sorted {
                 // Map the sorted position back to the cfg bit of the
                 // original parent order.
                 let orig = parents.iter().position(|&q| q == p).expect("member");
-                let _ = i;
                 conds.push((p, (cfg >> orig & 1) as u64));
             }
             let insert_at = conds.partition_point(|&(a, _)| a < child);
@@ -316,7 +315,7 @@ fn tm_local_score(
                 let mut pm = tm_ds::PrivateMem::new(txn);
                 tree.count(&mut pm, &conds)?
             };
-            counts[cfg][x as usize] = n;
+            row[x as usize] = n;
         }
     }
     Ok(log_likelihood(&counts))

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tm::{SystemKind, TmConfig, TmRuntime};
-use tm_ds::{Mem, SetupMem, TmHashtable, TmRbTree};
+use tm_ds::{SetupMem, TmHashtable, TmRbTree};
 
 fn bench_rbtree(c: &mut Criterion) {
     let mut group = c.benchmark_group("rbtree_insert_1k");

@@ -1,0 +1,44 @@
+//! `stamp_lint` — static access-discipline lint over the application
+//! crates (see [`bench::lint`] for the rules).
+//!
+//! ```text
+//! cargo run -p bench --bin stamp_lint            # lint the eight app crates
+//! cargo run -p bench --bin stamp_lint -- PATH..  # lint specific files/dirs
+//! ```
+//!
+//! Exits 1 if any finding is reported.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::lint::{run_lint, APP_CRATES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        // Default: the eight app crates, resolved relative to the
+        // workspace root (parent of this crate's manifest).
+        let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        APP_CRATES.iter().map(|c| ws.join(c).join("src")).collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let findings = match run_lint(&roots) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("stamp_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("stamp_lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("stamp_lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

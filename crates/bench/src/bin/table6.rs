@@ -12,17 +12,21 @@
 //!   the miss rate.
 //!
 //! Flags: `--scale N`, `--variants a,b,...`, `--threads16 N` (the
-//! retry-column thread count, default 16), `--working-sets`.
+//! retry-column thread count, default 16), `--working-sets`,
+//! `--verify` (run the `tm::verify` sanitizer alongside each
+//! measurement and report its verdict and wall-clock cost; simulated
+//! cycles are unaffected).
 
 use bench::{harness_flags, pct, run_variant, selected_variants};
 use stamp_util::Args;
-use tm::{CacheGeometry, SystemKind, TmConfig};
+use tm::{CacheGeometry, SystemKind, TmConfig, VerifyCost};
 
 fn main() {
     let args = Args::from_env();
     let (scale, filter, _) = harness_flags(&args);
     let retry_threads = args.get_u64("threads16", 16) as usize;
     let do_ws = args.get_bool("working-sets");
+    let do_verify = args.get_bool("verify");
     let variants = selected_variants(&filter);
 
     println!("TABLE VI: Basic characterization of the STAMP applications (scale 1/{scale})");
@@ -47,13 +51,14 @@ fn main() {
     println!("{:-<120}", "");
 
     for v in &variants {
+        let cfg = |sys| TmConfig::new(sys, retry_threads).verify(do_verify);
         // Lazy HTM, 16 threads: sets, length, time in transactions.
-        let htm = run_variant(v, scale, TmConfig::new(SystemKind::LazyHtm, retry_threads));
+        let htm = run_variant(v, scale, cfg(SystemKind::LazyHtm));
         // Lazy STM: barrier counts.
-        let stm = run_variant(v, scale, TmConfig::new(SystemKind::LazyStm, retry_threads));
+        let stm = run_variant(v, scale, cfg(SystemKind::LazyStm));
         // Remaining retry columns.
-        let ehtm = run_variant(v, scale, TmConfig::new(SystemKind::EagerHtm, retry_threads));
-        let estm = run_variant(v, scale, TmConfig::new(SystemKind::EagerStm, retry_threads));
+        let ehtm = run_variant(v, scale, cfg(SystemKind::EagerHtm));
+        let estm = run_variant(v, scale, cfg(SystemKind::EagerStm));
         let ok = htm.verified && stm.verified && ehtm.verified && estm.verified;
         println!(
             "{:<15} {:>10.0} {:>8} {:>8} {:>8} {:>8} {:>7} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {}",
@@ -70,6 +75,32 @@ fn main() {
             estm.run.stats.retries_per_txn(),
             if ok { "OK" } else { "FAILED" },
         );
+        if do_verify {
+            let reports = [&htm, &stm, &ehtm, &estm];
+            let mut cost = VerifyCost::default();
+            let mut violations = 0usize;
+            for rep in reports {
+                let vr = rep.run.verify.as_ref().expect("--verify sets verify");
+                cost.txns_checked += vr.cost.txns_checked;
+                cost.edges += vr.cost.edges;
+                cost.wall += vr.cost.wall;
+                violations += vr.violations.len();
+                for viol in &vr.violations {
+                    println!("    [{}] {viol}", rep.run.system);
+                }
+            }
+            println!(
+                "    sanitizer: {} across 4 systems — {} txns checked, {} edges, {:.1?} wall",
+                if violations == 0 {
+                    "clean".to_string()
+                } else {
+                    format!("{violations} VIOLATION(S)")
+                },
+                cost.txns_checked,
+                cost.edges,
+                cost.wall,
+            );
+        }
     }
 
     if do_ws {

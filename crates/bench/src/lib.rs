@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod lint;
+
 use stamp_util::{AppParams, AppReport, Variant};
 use tm::{SystemKind, TmConfig};
 

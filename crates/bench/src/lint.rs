@@ -1,0 +1,350 @@
+//! `stamp_lint` — a source-level access-discipline lint for the eight
+//! application crates.
+//!
+//! The TM engine can only sanitize what goes through its barriers
+//! (`tm::verify`); this pass catches the class of bugs that *bypass*
+//! the barriers and would therefore be invisible at runtime until they
+//! corrupt a run:
+//!
+//! * **`setup-mem-in-parallel`** — constructing a `SetupMem` inside a
+//!   parallel phase. `SetupMem` performs raw, uninstrumented,
+//!   unsynchronized heap writes; it is sound only in the single-threaded
+//!   setup and teardown phases.
+//! * **`raw-heap-access`** — calling `raw_load`/`raw_store` inside a
+//!   parallel phase. Application code must go through `Txn` barriers
+//!   (or the costed `ThreadCtx` helpers) so conflicts are detected and
+//!   cycles charged.
+//! * **`early-release`** — calling `Txn::early_release` anywhere.
+//!   Early release forfeits opacity for the released line and is
+//!   sanctioned in exactly one place: labyrinth's grid-snapshot loop
+//!   (§III-B5 of the paper), which carries an explicit allow comment.
+//!
+//! A finding is suppressed by `// lint:allow(<rule>)` on the same line
+//! or the immediately preceding line — the escape hatch doubles as an
+//! inventory of every sanctioned exception.
+//!
+//! The pass is deliberately lexical (no type information): the
+//! workspace idiom is regular enough that a line scanner with
+//! brace-depth tracking of parallel regions has no false positives,
+//! and it keeps the lint dependency-free and fast enough for CI.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rules `stamp_lint` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `SetupMem::new` inside a parallel phase.
+    SetupMemInParallel,
+    /// `raw_load` / `raw_store` inside a parallel phase.
+    RawHeapAccess,
+    /// Any `early_release` call site.
+    EarlyRelease,
+}
+
+impl Rule {
+    /// The slug used in reports and in `lint:allow(...)` comments.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::SetupMemInParallel => "setup-mem-in-parallel",
+            Rule::RawHeapAccess => "raw-heap-access",
+            Rule::EarlyRelease => "early-release",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in (as given to the linter).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Strip a line down to the code that matters for matching: cut `//`
+/// comments and blank out string literals (so braces or call names
+/// inside strings neither open regions nor trip rules).
+fn code_of(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '\'' => {
+                // Char literal (or lifetime — those have no closing
+                // quote within two chars, so nothing is skipped).
+                if let Some(&n) = chars.peek() {
+                    if n == '\\' {
+                        chars.next();
+                        chars.next();
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                        }
+                    } else if chars.clone().nth(1) == Some('\'') {
+                        chars.next();
+                        chars.next();
+                    }
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Does `line` (the raw source line) carry an allow comment for `rule`?
+fn allows(line: &str, rule: Rule) -> bool {
+    line.find("lint:allow(")
+        .map(|i| line[i + "lint:allow(".len()..].starts_with(rule.slug()))
+        .unwrap_or(false)
+}
+
+/// Lint one file's contents. `file` is only used to label findings.
+pub fn lint_file_contents(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut depth: i64 = 0;
+    // Stack of depths at which a parallel region opened: a `.run(|`
+    // closure or a fn taking `&mut Txn` / `&mut ThreadCtx`. The region
+    // is active until depth returns to the recorded value.
+    let mut regions: Vec<i64> = Vec::new();
+    let mut prev_raw = "";
+    for (idx, raw) in src.lines().enumerate() {
+        let code = code_of(raw);
+        let in_parallel = !regions.is_empty();
+
+        let report = |rule: Rule, findings: &mut Vec<Finding>| {
+            if !allows(raw, rule) && !allows(prev_raw, rule) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        };
+
+        if in_parallel && code.contains("SetupMem::new") {
+            report(Rule::SetupMemInParallel, &mut findings);
+        }
+        if in_parallel && (code.contains("raw_load(") || code.contains("raw_store(")) {
+            report(Rule::RawHeapAccess, &mut findings);
+        }
+        if code.contains("early_release(") {
+            report(Rule::EarlyRelease, &mut findings);
+        }
+
+        // Region bookkeeping, after matching: the trigger line itself
+        // belongs to the region only past its opening brace, but the
+        // workspace idiom never puts a violation on the trigger line.
+        let opens_region = code.contains(".run(|")
+            || (code.contains("fn ")
+                && (code.contains("&mut Txn") || code.contains("&mut ThreadCtx")));
+        if opens_region {
+            regions.push(depth);
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if regions.last().is_some_and(|&d| depth <= d) {
+                        regions.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A braceless trigger line (`rt.run(|ctx| body());`) opens no
+        // scope: retire the region immediately.
+        if opens_region && regions.last() == Some(&depth) {
+            regions.pop();
+        }
+        prev_raw = raw;
+    }
+    findings
+}
+
+/// The eight application crates, relative to the workspace root.
+pub const APP_CRATES: [&str; 8] = [
+    "crates/bayes",
+    "crates/genome",
+    "crates/intruder",
+    "crates/kmeans",
+    "crates/labyrinth",
+    "crates/ssca2",
+    "crates/vacation",
+    "crates/yada",
+];
+
+/// Recursively collect `.rs` files under `dir`.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every `.rs` file under the given roots (directories or files).
+pub fn run_lint(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            rs_files(root, &mut files);
+        } else {
+            files.push(root.clone());
+        }
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_file_contents(&file.display().to_string(), &src));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_mem_in_parallel_is_flagged() {
+        let src = r#"
+pub fn run(rt: &TmRuntime) {
+    let report = rt.run(|ctx| {
+        let mut m = SetupMem::new(rt.heap());
+        let _ = m;
+    });
+}
+"#;
+        let findings = lint_file_contents("planted.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::SetupMemInParallel);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn setup_mem_outside_parallel_is_fine() {
+        let src = r#"
+pub fn run(rt: &TmRuntime) {
+    let mut m = SetupMem::new(rt.heap());
+    let report = rt.run(|ctx| {
+        ctx.atomic(|txn| Ok(()));
+    });
+    let mut m2 = SetupMem::new(rt.heap());
+}
+"#;
+        assert!(lint_file_contents("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_access_in_txn_helper_is_flagged() {
+        let src = r#"
+fn helper(txn: &mut Txn, heap: &TmHeap, addr: WordAddr) -> TxResult<u64> {
+    let v = heap.raw_load(addr);
+    heap.raw_store(addr, v + 1);
+    Ok(v)
+}
+
+fn setup(heap: &TmHeap, addr: WordAddr) {
+    heap.raw_store(addr, 0);
+}
+"#;
+        let findings = lint_file_contents("f.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::RawHeapAccess));
+    }
+
+    #[test]
+    fn early_release_needs_allow() {
+        let src = "fn f(txn: &mut Txn) { txn.early_release(addr); }\n";
+        let findings = lint_file_contents("f.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::EarlyRelease);
+
+        let allowed = "fn f(txn: &mut Txn) {\n    // lint:allow(early-release)\n    txn.early_release(addr);\n}\n";
+        assert!(lint_file_contents("f.rs", allowed).is_empty());
+        let same_line =
+            "fn f(txn: &mut Txn) { txn.early_release(addr); } // lint:allow(early-release)\n";
+        assert!(lint_file_contents("f.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_is_rule_specific() {
+        let src = "fn f(txn: &mut Txn) {\n    // lint:allow(raw-heap-access)\n    txn.early_release(addr);\n}\n";
+        assert_eq!(lint_file_contents("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = r#"
+fn doc() {
+    let s = "rt.run(|ctx| SetupMem::new inside a string";
+    // heap.raw_store(addr, 1) in a comment
+    println!("{s}");
+}
+"#;
+        assert!(lint_file_contents("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn app_crates_are_clean() {
+        // The real lint gate: all eight application crates pass. Run
+        // from the workspace so the relative paths resolve.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let roots: Vec<PathBuf> = APP_CRATES
+            .iter()
+            .map(|c| root.join(c).join("src"))
+            .collect();
+        let findings = run_lint(&roots).expect("lint IO");
+        assert!(
+            findings.is_empty(),
+            "app crates have lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

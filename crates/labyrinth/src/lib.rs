@@ -246,6 +246,10 @@ pub fn route_tm_with(
                         // right after reading (§III-B5).
                         let v = txn.read_word(addr)?;
                         if use_early_release {
+                            // The one sanctioned early-release site
+                            // (§III-B5): the path is revalidated with
+                            // full barriers before being written.
+                            // lint:allow(early-release)
                             txn.early_release(addr);
                         }
                         v

@@ -136,7 +136,9 @@ impl TmList {
         let after = m.read(next.offset(NEXT))?;
         m.write(prev.offset(NEXT), after)?;
         let n = m.read(self.size)?;
-        m.write(self.size, n - 1)?;
+        // Zombie transactions may see `size == 0` alongside a live node;
+        // the attempt aborts later, so just keep the arithmetic total.
+        m.write(self.size, n.saturating_sub(1))?;
         Ok(Some(value))
     }
 

@@ -169,7 +169,7 @@ mod tests {
             rng = rng
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            if rng % 3 == 0 {
+            if rng.is_multiple_of(3) {
                 assert_eq!(
                     q.pop(&mut m).unwrap(),
                     reference.pop().map(|std::cmp::Reverse(v)| v)

@@ -78,7 +78,10 @@ impl TmQueue {
         // so the tail pointer stays valid even when the queue drains.
         m.write(self.head, first.0)?;
         let n = m.read(self.size)?;
-        m.write(self.size, n - 1)?;
+        // A doomed (zombie) transaction can observe `size == 0` together
+        // with a non-null first node — the snapshot is inconsistent and
+        // the attempt will abort, but the arithmetic must not trap first.
+        m.write(self.size, n.saturating_sub(1))?;
         Ok(Some(value))
     }
 

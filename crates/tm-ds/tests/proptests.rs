@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use tm::TmHeap;
-use tm_ds::{Mem, SetupMem, TmBitmap, TmHashtable, TmList, TmPQueue, TmQueue, TmRbTree, TmVector};
+use tm_ds::{SetupMem, TmBitmap, TmHashtable, TmList, TmPQueue, TmQueue, TmRbTree, TmVector};
 
 #[derive(Debug, Clone)]
 enum MapOp {

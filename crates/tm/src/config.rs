@@ -380,6 +380,32 @@ pub struct TmConfig {
     pub htm_conflict: HtmConflictPolicy,
     /// Seed for the per-thread backoff RNGs.
     pub seed: u64,
+    /// Run under the [`crate::verify`] serializability sanitizer. Also
+    /// enabled by `TM_VERIFY=1` in the environment. The sanitizer
+    /// charges zero simulated cycles, so `sim_cycles` outputs are
+    /// bit-identical either way; only wall-clock time changes.
+    pub verify: bool,
+    /// Deliberate fault injection for mutation-testing the sanitizer.
+    /// Leave at [`MutationHook::None`] for correct execution.
+    pub mutation: MutationHook,
+}
+
+/// Deliberate engine faults used to prove the [`crate::verify`]
+/// sanitizer has teeth: with a hook enabled on a contended workload the
+/// sanitizer must report violations, and with [`MutationHook::None`]
+/// it must stay clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MutationHook {
+    /// Correct execution (the default).
+    #[default]
+    None,
+    /// Skip the TL2 commit-time read-set validation in the STMs: stale
+    /// reads commit, producing lost updates the sanitizer must flag as
+    /// a serialization cycle.
+    SkipTl2Validation,
+    /// Corrupt the signature insert path (wrong bits set) so the
+    /// hybrids' commit-time signature scans miss real conflicts.
+    CorruptSignatureHash,
 }
 
 impl TmConfig {
@@ -406,6 +432,10 @@ impl TmConfig {
             htm_priority_after: 32,
             htm_conflict: HtmConflictPolicy::default(),
             seed: 0x5eed_cafe,
+            verify: std::env::var("TM_VERIFY")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
+            mutation: MutationHook::None,
         }
     }
 
@@ -460,6 +490,20 @@ impl TmConfig {
     pub fn signature_bits(mut self, bits: usize) -> Self {
         assert!(bits.is_power_of_two() && bits >= 64);
         self.signature_bits = bits;
+        self
+    }
+
+    /// Enable or disable the [`crate::verify`] serializability
+    /// sanitizer for this run.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Inject a deliberate engine fault (mutation testing of the
+    /// sanitizer — never use for real measurements).
+    pub fn mutation_hook(mut self, hook: MutationHook) -> Self {
+        self.mutation = hook;
         self
     }
 

@@ -60,14 +60,19 @@ pub mod runtime;
 pub mod signature;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 pub mod txn;
+pub mod verify;
 
 pub use addr::{LineAddr, WordAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{
-    BackoffPolicy, CacheGeometry, CostModel, Granularity, HtmConflictPolicy, SystemKind, TmConfig,
+    BackoffPolicy, CacheGeometry, CostModel, Granularity, HtmConflictPolicy, MutationHook,
+    SystemKind, TmConfig,
 };
 pub use heap::{TArray, TCell, TmHeap, TmValue};
 pub use runtime::{RunReport, ThreadCtx, TmRuntime};
 pub use sim::{SimBarrier, XorShift64};
-pub use stats::{RunStats, TxnRecord};
+pub use stats::{RunStats, TxnRecord, VerifyCost};
+pub use trace::TraceLevel;
 pub use txn::{Abort, TxResult, Txn};
+pub use verify::{VerifyReport, Violation};

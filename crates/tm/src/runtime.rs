@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use crate::addr::{LineAddr, WordAddr};
 use crate::cache::CacheModel;
+use crate::config::MutationHook;
 use crate::config::{SystemKind, TmConfig};
 use crate::directory::Directory;
 use crate::fxhash::{FxHashMap, FxHashSet};
@@ -20,6 +21,7 @@ use crate::signature::Signature;
 use crate::sim::{Scheduler, SimBarrier, SimMutex, XorShift64, FLUSH_CYCLES};
 use crate::stats::{RunStats, ThreadStats};
 use crate::txn::TxnState;
+use crate::verify::{self, VerifyReport, VerifyState, VerifyTxn};
 
 /// Sentinel for "no thread holds the eager-HTM priority token".
 pub(crate) const NO_PRIORITY: usize = usize::MAX;
@@ -53,12 +55,18 @@ pub(crate) struct Global {
     /// Per-thread timestamp of the current transaction attempt.
     pub txn_ts: Vec<CachePadded<std::sync::atomic::AtomicU64>>,
     pub scheduler: Scheduler,
+    /// The serializability sanitizer, when `config.verify` is set.
+    pub verify: Option<VerifyState>,
 }
 
 impl Global {
     fn new(config: TmConfig, heap: Arc<TmHeap>) -> Self {
         let n = config.threads;
         let sig_bits = config.signature_bits;
+        // Mutation hook: corrupted signatures mis-insert so the
+        // hybrids' conflict scans miss — the sanitizer must notice.
+        let corrupt_sigs = config.mutation == MutationHook::CorruptSignatureHash;
+        let new_sig = |_| Signature::new_maybe_corrupted(sig_bits, corrupt_sigs);
         Global {
             clock: GlobalClock::new(),
             locks: LockTable::new(config.lock_table_bits, config.stm_granularity),
@@ -69,9 +77,9 @@ impl Global {
             active: (0..n)
                 .map(|_| CachePadded::new(AtomicBool::new(false)))
                 .collect(),
-            read_sigs: (0..n).map(|_| Signature::new(sig_bits)).collect(),
-            write_sigs: (0..n).map(|_| Signature::new(sig_bits)).collect(),
-            overflow_sigs: (0..n).map(|_| Signature::new(sig_bits)).collect(),
+            read_sigs: (0..n).map(new_sig).collect(),
+            write_sigs: (0..n).map(new_sig).collect(),
+            overflow_sigs: (0..n).map(new_sig).collect(),
             commit_token: SimMutex::new(),
             priority: AtomicUsize::new(NO_PRIORITY),
             ts_counter: std::sync::atomic::AtomicU64::new(1),
@@ -79,6 +87,7 @@ impl Global {
                 .map(|_| CachePadded::new(std::sync::atomic::AtomicU64::new(u64::MAX)))
                 .collect(),
             scheduler: Scheduler::new(n, config.quantum, config.simulate),
+            verify: config.verify.then(VerifyState::default),
             heap,
             config,
         }
@@ -98,6 +107,9 @@ pub struct RunReport {
     pub wall: Duration,
     /// Aggregated transactional statistics.
     pub stats: RunStats,
+    /// Sanitizer report, present when the run had `TmConfig::verify`
+    /// (or `TM_VERIFY=1`) enabled.
+    pub verify: Option<VerifyReport>,
 }
 
 impl RunReport {
@@ -192,6 +204,13 @@ impl TmRuntime {
             }
         });
         let wall = start.elapsed();
+        // Sanitizer finalize runs after the phase wall-clock is taken:
+        // its cost is reported separately and never pollutes `wall` or
+        // `sim_cycles`.
+        let verify = global
+            .verify
+            .as_ref()
+            .map(|vs| verify::finalize(vs, self.config.system));
         let threads_stats = collected.into_inner();
         let mut stats = RunStats::default();
         let mut sim_cycles = 0;
@@ -205,6 +224,7 @@ impl TmRuntime {
             sim_cycles,
             wall,
             stats,
+            verify,
         }
     }
 }
@@ -237,6 +257,9 @@ pub struct ThreadCtx {
     pub(crate) txn: TxnState,
     pub(crate) in_txn: bool,
     pub(crate) has_priority: bool,
+    /// Per-attempt observation log for the `tm::verify` sanitizer
+    /// (empty and untouched when verification is off).
+    pub(crate) vtx: VerifyTxn,
 }
 
 impl ThreadCtx {
@@ -257,6 +280,7 @@ impl ThreadCtx {
             txn: TxnState::default(),
             in_txn: false,
             has_priority: false,
+            vtx: VerifyTxn::default(),
         }
     }
 
@@ -355,7 +379,7 @@ impl ThreadCtx {
         let addr = cell.addr();
         let c = self.mem_cost(addr.line());
         self.charge_app(c);
-        self.global.heap.raw_store(addr, value.to_bits());
+        self.nontxn_store(addr, value.to_bits());
     }
 
     /// Costed non-transactional load of a raw word address.
@@ -369,7 +393,149 @@ impl ThreadCtx {
     pub fn store_word(&mut self, addr: WordAddr, value: u64) {
         let c = self.mem_cost(addr.line());
         self.charge_app(c);
-        self.global.heap.raw_store(addr, value)
+        self.nontxn_store(addr, value)
+    }
+
+    // ---- tm::verify instrumentation -------------------------------
+    //
+    // Every heap mutation and transactional read funnels through one
+    // of the helpers below. With verification off they compile to the
+    // plain raw heap access; with it on, the access happens under the
+    // sanitizer's mutex paired with a shadow-heap update, so each
+    // observation carries an exact (value, version). None of them
+    // charge simulated cycles or touch the scheduler — the sanitizer
+    // is a pure observer and `sim_cycles` stays bit-identical.
+
+    /// Non-transactional store (setup data, `Txn::init_word`): keeps
+    /// the shadow heap in sync without creating a graph node.
+    #[inline]
+    pub(crate) fn nontxn_store(&mut self, addr: WordAddr, value: u64) {
+        match &self.global.verify {
+            Some(vs) => verify::write_nontxn(vs, &self.global.heap, addr, value),
+            None => self.global.heap.raw_store(addr, value),
+        }
+    }
+
+    /// Transactional read with the observation recorded immediately
+    /// (HTM/hybrid barriers: the raw load is the last step).
+    #[inline]
+    pub(crate) fn txn_load(&mut self, addr: WordAddr) -> u64 {
+        let ThreadCtx { global, vtx, .. } = self;
+        match &global.verify {
+            Some(vs) => verify::read_record(vs, vtx, &global.heap, addr),
+            None => global.heap.raw_load(addr),
+        }
+    }
+
+    /// Transactional read whose observation must survive a post-load
+    /// recheck (STM barriers re-validate the lock word after loading);
+    /// confirm with [`ThreadCtx::txn_load_confirm`] once it passes.
+    #[inline]
+    pub(crate) fn txn_load_pending(
+        &mut self,
+        addr: WordAddr,
+    ) -> (u64, Option<verify::PendingRead>) {
+        let ThreadCtx { global, vtx, .. } = self;
+        match &global.verify {
+            Some(vs) => {
+                let (v, p) = verify::read_pending(vs, vtx, &global.heap, addr);
+                (v, Some(p))
+            }
+            None => (global.heap.raw_load(addr), None),
+        }
+    }
+
+    /// Record a pending read observation after its validation passed.
+    #[inline]
+    pub(crate) fn txn_load_confirm(&mut self, pending: Option<verify::PendingRead>) {
+        if let Some(p) = pending {
+            verify::confirm_read(&mut self.vtx, p);
+        }
+    }
+
+    /// Eager in-place transactional write: pushes the previous value
+    /// onto the engine undo log (and the displaced shadow entry onto
+    /// the sanitizer's, keeping the two index-aligned).
+    #[inline]
+    pub(crate) fn txn_store_eager(&mut self, addr: WordAddr, value: u64) {
+        let ThreadCtx {
+            global, vtx, txn, ..
+        } = self;
+        let prev = match &global.verify {
+            Some(vs) => verify::write_eager(vs, vtx, &global.heap, addr, value),
+            None => {
+                let prev = global.heap.raw_load(addr);
+                global.heap.raw_store(addr, value);
+                prev
+            }
+        };
+        txn.undo.push((addr.0, prev));
+    }
+
+    /// Commit-time write-back (lazy systems), no undo.
+    #[inline]
+    pub(crate) fn txn_store_commit(&mut self, addr: WordAddr, value: u64) {
+        let ThreadCtx { global, vtx, .. } = self;
+        match &global.verify {
+            Some(vs) => verify::write_commit(vs, vtx, &global.heap, addr, value),
+            None => global.heap.raw_store(addr, value),
+        }
+    }
+
+    /// Restore the heap from the engine undo log (abort path); with
+    /// verification on, the shadow heap is restored in lock-step and
+    /// the zombie's reads are audited.
+    pub(crate) fn undo_restore(&mut self) {
+        let ThreadCtx {
+            global,
+            vtx,
+            txn,
+            tid,
+            ..
+        } = self;
+        match &global.verify {
+            Some(vs) => verify::rollback_restore(
+                vs,
+                vtx,
+                &global.heap,
+                &txn.undo,
+                *tid,
+                global.config.system,
+            ),
+            None => {
+                for &(a, v) in txn.undo.iter().rev() {
+                    global.heap.raw_store(WordAddr(a), v);
+                }
+            }
+        }
+    }
+
+    /// Sanitizer hook: a new transaction attempt begins.
+    #[inline]
+    pub(crate) fn verify_begin_attempt(&mut self) {
+        let ThreadCtx { global, vtx, .. } = self;
+        if let Some(vs) = &global.verify {
+            verify::begin_attempt(vs, vtx);
+        }
+    }
+
+    /// Sanitizer hook: the current attempt committed.
+    #[inline]
+    pub(crate) fn verify_commit_attempt(&mut self) {
+        let ThreadCtx {
+            global, vtx, tid, ..
+        } = self;
+        if let Some(vs) = &global.verify {
+            verify::commit_attempt(vs, vtx, *tid);
+        }
+    }
+
+    /// Sanitizer hook: the current attempt early-released `line`.
+    #[inline]
+    pub(crate) fn verify_release_line(&mut self, line: LineAddr) {
+        if self.global.verify.is_some() {
+            verify::release_line(&mut self.vtx, line);
+        }
     }
 
     /// A deterministic per-thread random number in `0..bound`.

@@ -29,9 +29,13 @@ fn permute16(x: u16) -> u16 {
     x.wrapping_mul(0x9E37).rotate_left(7)
 }
 
-/// The four Table V hash functions, reduced modulo the signature size.
+/// The four Table V hash functions, reduced modulo the signature size
+/// (`bits` must be the signature size in bits).
+///
+/// Public so the property tests can check determinism, bit-range, and
+/// membership soundness directly against the hash family.
 #[inline]
-fn hashes(line: LineAddr, bits: u64) -> [u64; 4] {
+pub fn table_v_hashes(line: LineAddr, bits: u64) -> [u64; 4] {
     let l = line.0;
     let l32 = l as u32;
     let permuted = permute32(l32) as u64;
@@ -54,16 +58,29 @@ fn hashes(line: LineAddr, bits: u64) -> [u64; 4] {
 pub struct Signature {
     bits: u64,
     words: Box<[AtomicU64]>,
+    /// Mutation hook for `tm::verify` teeth tests: when set, `insert`
+    /// sets the *wrong* bits, so membership tests produce false
+    /// negatives — exactly the Bloom-filter guarantee a hash bug would
+    /// break.
+    corrupt: bool,
 }
 
 impl Signature {
     /// Create an empty signature of `bits` bits (power of two, ≥ 64).
     pub fn new(bits: usize) -> Self {
+        Self::new_maybe_corrupted(bits, false)
+    }
+
+    /// Create a signature whose insert path is deliberately corrupted
+    /// when `corrupt` is true (mutation testing of the sanitizer; see
+    /// [`crate::config::MutationHook::CorruptSignatureHash`]).
+    pub fn new_maybe_corrupted(bits: usize, corrupt: bool) -> Self {
         assert!(bits.is_power_of_two() && bits >= 64);
         let words = (0..bits / 64).map(|_| AtomicU64::new(0)).collect();
         Signature {
             bits: bits as u64,
             words,
+            corrupt,
         }
     }
 
@@ -75,7 +92,11 @@ impl Signature {
     /// Insert a line address.
     #[inline]
     pub fn insert(&self, line: LineAddr) {
-        for h in hashes(line, self.bits) {
+        for h in table_v_hashes(line, self.bits) {
+            // Mutation hook: flipping the low bit of the bit index
+            // sets four wrong bits, so `maybe_contains` (which still
+            // probes the correct bits) reports false negatives.
+            let h = if self.corrupt { h ^ 1 } else { h };
             self.words[(h / 64) as usize].fetch_or(1 << (h % 64), Ordering::AcqRel);
         }
     }
@@ -84,7 +105,7 @@ impl Signature {
     /// false positive.
     #[inline]
     pub fn maybe_contains(&self, line: LineAddr) -> bool {
-        hashes(line, self.bits)
+        table_v_hashes(line, self.bits)
             .iter()
             .all(|h| self.words[(h / 64) as usize].load(Ordering::Acquire) >> (h % 64) & 1 == 1)
     }
@@ -191,6 +212,21 @@ mod tests {
             .filter(|&i| large.maybe_contains(LineAddr(i)))
             .count();
         assert!(fp_small > fp_large);
+    }
+
+    #[test]
+    fn corrupted_insert_produces_false_negatives() {
+        let sig = Signature::new_maybe_corrupted(2048, true);
+        let misses = (0..200)
+            .filter(|&i| {
+                let l = LineAddr(i * 37);
+                sig.insert(l);
+                !sig.maybe_contains(l)
+            })
+            .count();
+        // A corrupted hash must break the no-false-negative guarantee
+        // for essentially every line (modulo accidental aliasing).
+        assert!(misses > 150, "only {misses} false negatives");
     }
 
     #[test]

@@ -3,6 +3,20 @@
 //! (90th percentile), barrier counts, fraction of time spent in
 //! transactions, and retries per transaction.
 
+/// Bookkeeping cost of a `tm::verify` sanitizer pass (reported only
+/// when verification is enabled; the sanitizer charges zero simulated
+/// cycles, so its cost is pure wall-clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyCost {
+    /// Committed transactions whose logs were checked.
+    pub txns_checked: u64,
+    /// Serialization-graph edges built and examined.
+    pub edges: u64,
+    /// Wall-clock time of the finalize pass (graph build + cycle
+    /// detection + consistency checks).
+    pub wall: std::time::Duration,
+}
+
 /// Statistics of one *committed* transaction (the successful attempt).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TxnRecord {

@@ -1,0 +1,133 @@
+//! Unified diagnostic tracing for the TM engine.
+//!
+//! One environment variable, `TM_TRACE`, controls every diagnostic
+//! stream (it replaces the old ad-hoc `TM_DEBUG_CONFLICTS=1`). The
+//! value is a comma-separated list of levels:
+//!
+//! * `conflicts` — every HTM/hybrid conflict-resolution event (who
+//!   aborted or stalled for whom, and on which line),
+//! * `overflows` — L1 overflow events (a line falling out of the
+//!   tracked cache into the overflow signature),
+//! * `sighits` — hybrid signature hits during commit-time scans
+//!   (including false positives, which is the point of tracing them),
+//! * `verify` — reports from the [`crate::verify`] sanitizer,
+//! * `all` (or `1`) — everything.
+//!
+//! Example: `TM_TRACE=conflicts,sighits cargo run -p bench --bin table6`.
+//!
+//! The variable is read once per process; levels cannot change
+//! mid-run. Output goes to stderr so it never mixes with table output.
+
+use std::sync::OnceLock;
+
+/// One diagnostic stream that can be toggled via `TM_TRACE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// Conflict-resolution events (aborts, stalls, dooms).
+    Conflicts,
+    /// L1 overflow events (line spills into the overflow signature).
+    Overflows,
+    /// Hybrid signature hits during commit-time scans.
+    SigHits,
+    /// Reports from the `tm::verify` sanitizer.
+    Verify,
+}
+
+impl TraceLevel {
+    fn bit(self) -> u8 {
+        match self {
+            TraceLevel::Conflicts => 1 << 0,
+            TraceLevel::Overflows => 1 << 1,
+            TraceLevel::SigHits => 1 << 2,
+            TraceLevel::Verify => 1 << 3,
+        }
+    }
+
+    /// The stderr tag prefix for this level.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceLevel::Conflicts => "tm:conflict",
+            TraceLevel::Overflows => "tm:overflow",
+            TraceLevel::SigHits => "tm:sighit",
+            TraceLevel::Verify => "tm:verify",
+        }
+    }
+}
+
+fn mask() -> u8 {
+    static MASK: OnceLock<u8> = OnceLock::new();
+    *MASK.get_or_init(|| {
+        let Ok(raw) = std::env::var("TM_TRACE") else {
+            return 0;
+        };
+        let mut m = 0u8;
+        for part in raw.split(',') {
+            match part.trim() {
+                "" => {}
+                "conflicts" | "conflict" => m |= TraceLevel::Conflicts.bit(),
+                "overflows" | "overflow" => m |= TraceLevel::Overflows.bit(),
+                "sighits" | "sighit" => m |= TraceLevel::SigHits.bit(),
+                "verify" => m |= TraceLevel::Verify.bit(),
+                "all" | "1" => m |= 0xff,
+                other => {
+                    eprintln!("[tm:trace] unknown TM_TRACE level {other:?} (expected conflicts, overflows, sighits, verify, all)");
+                }
+            }
+        }
+        m
+    })
+}
+
+/// Whether `level` was enabled via `TM_TRACE`.
+///
+/// Call sites guard their formatting behind this so tracing costs one
+/// branch when disabled.
+#[inline]
+pub fn enabled(level: TraceLevel) -> bool {
+    mask() & level.bit() != 0
+}
+
+/// Emit one tagged line to stderr if `level` is enabled.
+pub fn emit(level: TraceLevel, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[{}] {}", level.tag(), args);
+    }
+}
+
+/// Convenience wrapper around [`emit`]: `trace!(TraceLevel::Conflicts, "...", ..)`.
+#[macro_export]
+macro_rules! trace {
+    ($level:expr, $($fmt:tt)*) => {
+        $crate::trace::emit($level, format_args!($($fmt)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The mask is process-global and env-dependent; in the test
+    // environment TM_TRACE is unset, so everything is disabled.
+    #[test]
+    fn disabled_by_default() {
+        assert!(!enabled(TraceLevel::Conflicts));
+        assert!(!enabled(TraceLevel::Verify));
+        // emit with disabled level is a no-op (must not panic).
+        emit(TraceLevel::SigHits, format_args!("dropped"));
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            TraceLevel::Conflicts.tag(),
+            TraceLevel::Overflows.tag(),
+            TraceLevel::SigHits.tag(),
+            TraceLevel::Verify.tag(),
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -20,11 +20,12 @@
 //! barrier.
 
 use crate::addr::{LineAddr, WordAddr};
-use crate::config::SystemKind;
+use crate::config::{MutationHook, SystemKind};
 use crate::heap::{TArray, TCell, TmValue};
 use crate::locks::LockWord;
 use crate::runtime::{LineSet, ThreadCtx, WordMap, NO_PRIORITY};
 use crate::stats::TxnRecord;
+use crate::trace::TraceLevel;
 
 /// A transaction abort: unwinds the body back to the retry loop.
 ///
@@ -158,6 +159,7 @@ impl ThreadCtx {
         use std::sync::atomic::Ordering;
         self.in_txn = true;
         self.txn.reset();
+        self.verify_begin_attempt();
         self.global.doomed[self.tid].store(false, Ordering::SeqCst);
         self.global.active[self.tid].store(true, Ordering::SeqCst);
         self.txn.rv = self.global.clock.read();
@@ -172,7 +174,7 @@ impl ThreadCtx {
             while !self.global.commit_token.try_acquire() {
                 self.charge_tm(10);
                 spins += 1;
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();
@@ -189,6 +191,7 @@ impl ThreadCtx {
 
     fn finish_commit(&mut self, start_clock: u64, retries: u32) {
         use std::sync::atomic::Ordering;
+        self.verify_commit_attempt();
         self.global.active[self.tid].store(false, Ordering::SeqCst);
         if self.has_priority {
             self.global
@@ -255,13 +258,6 @@ impl ThreadCtx {
     }
 }
 
-/// Env-gated conflict tracing (`TM_DEBUG_CONFLICTS=1`): prints every
-/// eager-HTM conflict, capacity overflow, and signature hit to stderr.
-fn debug_conflicts() -> bool {
-    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var_os("TM_DEBUG_CONFLICTS").is_some())
-}
-
 /// Handle to the currently executing transaction attempt.
 ///
 /// All transactional reads and writes go through this handle; propagate
@@ -312,7 +308,7 @@ impl Txn<'_> {
     pub fn init_word(&mut self, addr: WordAddr, value: u64) {
         let c = self.ctx.mem_cost(addr.line());
         self.ctx.charge_app(c);
-        self.ctx.global.heap.raw_store(addr, value);
+        self.ctx.nontxn_store(addr, value);
     }
 
     /// Typed [`Txn::init_word`].
@@ -448,6 +444,7 @@ impl Txn<'_> {
                     return; // tracked only by the Bloom filter: cannot release
                 }
                 if self.ctx.txn.read_lines.remove(&line.0) {
+                    self.ctx.verify_release_line(line);
                     self.ctx.global.directory.remove_reader(line, self.ctx.tid);
                     if !self.ctx.txn.write_lines.contains(&line.0)
                         && self.ctx.txn.resident.remove(&line.0)
@@ -464,6 +461,7 @@ impl Txn<'_> {
                 let idx = self.ctx.global.locks.index_of(addr);
                 self.ctx.txn.read_locks.retain(|&i| i != idx);
                 self.ctx.txn.read_lines.remove(&line.0);
+                self.ctx.verify_release_line(line);
                 self.ctx.charge_tm(2);
             }
             _ => {}
@@ -477,7 +475,7 @@ impl Txn<'_> {
         self.ctx.txn.read_lines.insert(line.0);
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
-        self.ctx.global.heap.raw_load(addr)
+        self.ctx.txn_load(addr)
     }
 
     fn seq_write(&mut self, addr: WordAddr, value: u64) {
@@ -485,7 +483,7 @@ impl Txn<'_> {
         self.ctx.txn.write_lines.insert(line.0);
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
-        self.ctx.global.heap.raw_store(addr, value);
+        self.ctx.txn_store_commit(addr, value);
     }
 
     // ----- TL2 STMs -----------------------------------------------------
@@ -505,10 +503,14 @@ impl Txn<'_> {
         if v1 > self.ctx.txn.rv {
             return Err(Abort(()));
         }
-        let val = self.ctx.global.heap.raw_load(addr);
+        // With the sanitizer on, the observation is recorded only after
+        // the post-load lock recheck passes: a load that aborts here is
+        // never part of the attempt's read set.
+        let (val, pending) = self.ctx.txn_load_pending(addr);
         if self.ctx.global.locks.load(idx) != w1 {
             return Err(Abort(()));
         }
+        self.ctx.txn_load_confirm(pending);
         self.ctx.txn.read_locks.push(idx);
         let line = addr.line();
         self.ctx.txn.read_lines.insert(line.0);
@@ -531,17 +533,20 @@ impl Txn<'_> {
         let idx = locks.index_of(addr);
         let val = match locks.load(idx) {
             LockWord::Locked { owner } if owner == self.ctx.tid => {
-                self.ctx.global.heap.raw_load(addr)
+                // We hold the lock covering this word: the value is
+                // stable, so the observation can be recorded directly.
+                self.ctx.txn_load(addr)
             }
             LockWord::Locked { .. } => return Err(Abort(())),
             w1 @ LockWord::Unlocked { version } => {
                 if version > self.ctx.txn.rv {
                     return Err(Abort(()));
                 }
-                let val = self.ctx.global.heap.raw_load(addr);
+                let (val, pending) = self.ctx.txn_load_pending(addr);
                 if self.ctx.global.locks.load(idx) != w1 {
                     return Err(Abort(()));
                 }
+                self.ctx.txn_load_confirm(pending);
                 self.ctx.txn.read_locks.push(idx);
                 val
             }
@@ -571,9 +576,7 @@ impl Txn<'_> {
                 }
             }
         }
-        let prev = self.ctx.global.heap.raw_load(addr);
-        self.ctx.txn.undo.push((addr.0, prev));
-        self.ctx.global.heap.raw_store(addr, value);
+        self.ctx.txn_store_eager(addr, value);
         let line = addr.line();
         self.ctx.txn.write_lines.insert(line.0);
         let c = self.ctx.mem_cost(line);
@@ -626,8 +629,11 @@ impl Txn<'_> {
         let set = self.ctx.global.config.l1.set_of(line.0);
         let count = self.ctx.txn.set_counts.entry(set).or_insert(0);
         if *count >= assoc {
-            if debug_conflicts() {
-                eprintln!("overflow line={} set={set} tid={}", line.0, self.ctx.tid);
+            if crate::trace::enabled(TraceLevel::Overflows) {
+                crate::trace::emit(
+                    TraceLevel::Overflows,
+                    format_args!("line={} set={set} tid={}", line.0, self.ctx.tid),
+                );
             }
             self.ctx.global.overflow_sigs[self.ctx.tid].insert(line);
             self.ctx.txn.overflowed.insert(line.0);
@@ -695,7 +701,7 @@ impl Txn<'_> {
         }
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
-        Ok(self.ctx.global.heap.raw_load(addr))
+        Ok(self.ctx.txn_load(addr))
     }
 
     fn htm_lazy_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
@@ -719,10 +725,13 @@ impl Txn<'_> {
     /// vacate the line.
     fn resolve_eager(&mut self, line: LineAddr, victims: u32) -> TxResult<()> {
         use std::sync::atomic::Ordering;
-        if debug_conflicts() {
-            eprintln!(
-                "conflict line={} tid={} victims={:#x} priority={}",
-                line.0, self.ctx.tid, victims, self.ctx.has_priority
+        if crate::trace::enabled(TraceLevel::Conflicts) {
+            crate::trace::emit(
+                TraceLevel::Conflicts,
+                format_args!(
+                    "line={} tid={} victims={:#x} priority={}",
+                    line.0, self.ctx.tid, victims, self.ctx.has_priority
+                ),
             );
         }
         let stall = self.ctx.global.config.htm_conflict
@@ -790,8 +799,11 @@ impl Txn<'_> {
                 continue;
             }
             if self.ctx.global.overflow_sigs[t].maybe_contains(line) {
-                if debug_conflicts() {
-                    eprintln!("sig-hit line={} tid={} owner={t}", line.0, self.ctx.tid);
+                if crate::trace::enabled(TraceLevel::SigHits) {
+                    crate::trace::emit(
+                        TraceLevel::SigHits,
+                        format_args!("line={} tid={} owner={t}", line.0, self.ctx.tid),
+                    );
                 }
                 if !self.ctx.has_priority {
                     return Err(Abort(()));
@@ -834,7 +846,7 @@ impl Txn<'_> {
         }
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
-        Ok(self.ctx.global.heap.raw_load(addr))
+        Ok(self.ctx.txn_load(addr))
     }
 
     fn htm_eager_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
@@ -853,9 +865,7 @@ impl Txn<'_> {
             }
             self.ctx.txn.write_lines.insert(line.0);
         }
-        let prev = self.ctx.global.heap.raw_load(addr);
-        self.ctx.txn.undo.push((addr.0, prev));
-        self.ctx.global.heap.raw_store(addr, value);
+        self.ctx.txn_store_eager(addr, value);
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
         Ok(())
@@ -877,7 +887,7 @@ impl Txn<'_> {
         }
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
-        Ok(self.ctx.global.heap.raw_load(addr))
+        Ok(self.ctx.txn_load(addr))
     }
 
     fn hyb_lazy_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
@@ -914,7 +924,7 @@ impl Txn<'_> {
         }
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
-        Ok(self.ctx.global.heap.raw_load(addr))
+        Ok(self.ctx.txn_load(addr))
     }
 
     fn hyb_eager_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
@@ -936,9 +946,7 @@ impl Txn<'_> {
                 }
             }
         }
-        let prev = self.ctx.global.heap.raw_load(addr);
-        self.ctx.txn.undo.push((addr.0, prev));
-        self.ctx.global.heap.raw_store(addr, value);
+        self.ctx.txn_store_eager(addr, value);
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
         Ok(())
@@ -1028,7 +1036,11 @@ impl Txn<'_> {
             }
         }
         let wv = self.ctx.global.clock.increment();
-        if wv > self.ctx.txn.rv + 1 && !self.validate_read_set(&acquired) {
+        // Mutation hook for `tm::verify` teeth tests: skipping TL2
+        // commit-time validation admits stale read sets, which the
+        // sanitizer must surface as a serialization cycle.
+        let skip_validation = self.ctx.global.config.mutation == MutationHook::SkipTl2Validation;
+        if wv > self.ctx.txn.rv + 1 && !skip_validation && !self.validate_read_set(&acquired) {
             for &(i, v) in &acquired {
                 self.ctx.global.locks.unlock(i, v);
             }
@@ -1044,7 +1056,7 @@ impl Txn<'_> {
             .collect();
         for (a, v) in entries {
             let addr = WordAddr(a);
-            self.ctx.global.heap.raw_store(addr, v);
+            self.ctx.txn_store_commit(addr, v);
             let c = self.ctx.mem_cost(addr.line());
             self.ctx.charge_app(c);
             self.ctx.charge_tm(cost.commit_per_write);
@@ -1062,7 +1074,9 @@ impl Txn<'_> {
         self.ctx
             .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
         let wv = self.ctx.global.clock.increment();
-        if wv > self.ctx.txn.rv + 1 && !self.validate_read_set(&[]) {
+        // Mutation hook: see `commit_lazy_stm`.
+        let skip_validation = self.ctx.global.config.mutation == MutationHook::SkipTl2Validation;
+        if wv > self.ctx.txn.rv + 1 && !skip_validation && !self.validate_read_set(&[]) {
             return Err(Abort(())); // rollback (in try_commit) undoes and releases
         }
         self.ctx
@@ -1115,17 +1129,26 @@ impl Txn<'_> {
             while j < entries.len() && WordAddr(entries[j].0).line() == line {
                 j += 1;
             }
-            let heap = &self.ctx.global.heap;
             let slice = &entries[i..j];
-            let victims = self
-                .ctx
-                .global
-                .directory
-                .commit_line(line, self.ctx.tid, || {
+            // Split-borrow the context so the commit closure can update
+            // the sanitizer shadow heap while the directory shard lock is
+            // held (shard lock → verify mutex is the sanctioned order;
+            // the verify helpers never take shard locks).
+            let victims = {
+                let ThreadCtx {
+                    global, vtx, tid, ..
+                } = &mut *self.ctx;
+                let heap = &global.heap;
+                let vs = global.verify.as_ref();
+                global.directory.commit_line(line, *tid, || {
                     for &(a, v) in slice {
-                        heap.raw_store(WordAddr(a), v);
+                        match vs {
+                            Some(vs) => crate::verify::write_commit(vs, vtx, heap, WordAddr(a), v),
+                            None => heap.raw_store(WordAddr(a), v),
+                        }
                     }
-                });
+                })
+            };
             let mut mask = victims;
             while mask != 0 {
                 let t = mask.trailing_zeros() as usize;
@@ -1212,7 +1235,7 @@ impl Txn<'_> {
             .collect();
         for (a, v) in entries {
             let addr = WordAddr(a);
-            self.ctx.global.heap.raw_store(addr, v);
+            self.ctx.txn_store_commit(addr, v);
             let c = self.ctx.mem_cost(addr.line());
             self.ctx.charge_app(c);
             self.ctx.charge_tm(cost.commit_per_write);
@@ -1270,13 +1293,21 @@ impl Txn<'_> {
             panic!("explicit transaction abort under GlobalLock leaves partial writes");
         }
         let cost = self.ctx.global.config.cost;
-        // 1. Restore memory (eager systems), newest first.
-        if !self.ctx.txn.undo.is_empty() {
-            let undo = std::mem::take(&mut self.ctx.txn.undo);
-            for &(a, v) in undo.iter().rev() {
-                self.ctx.global.heap.raw_store(WordAddr(a), v);
+        // 1. Restore memory (eager systems), newest first. With the
+        // sanitizer on this also rolls back the shadow heap and audits
+        // the zombie attempt's read set, so it runs even when the undo
+        // log is empty (lazy systems buffer writes, but their aborted
+        // reads still need the stability audit).
+        let undo_len = self.ctx.txn.undo.len();
+        if undo_len > 0 || self.ctx.global.verify.is_some() {
+            self.ctx.undo_restore();
+            self.ctx.txn.undo.clear();
+            // Charge exactly as the uninstrumented engine would: even a
+            // zero-cycle charge can flush pending cycles at a different
+            // point and perturb the simulated interleaving.
+            if undo_len > 0 {
+                self.ctx.charge_tm(cost.abort_per_undo * undo_len as u64);
             }
-            self.ctx.charge_tm(cost.abort_per_undo * undo.len() as u64);
         }
         // 2. Release STM locks, restoring their pre-lock versions.
         if !self.ctx.txn.held_locks.is_empty() {

@@ -4,7 +4,8 @@ use proptest::prelude::*;
 use tm::addr::{LineAddr, WordAddr};
 use tm::config::Granularity;
 use tm::locks::{GlobalClock, LockTable, LockWord};
-use tm::signature::Signature;
+use tm::signature::{table_v_hashes, Signature};
+use tm::verify::find_cycle;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -73,6 +74,90 @@ proptest! {
             let next = clock.increment();
             prop_assert!(next > last);
             last = next;
+        }
+    }
+
+    /// The sanitizer's cycle detector reports `None` on any DAG: edges
+    /// drawn with `from < to` can never close a cycle.
+    #[test]
+    fn find_cycle_none_on_random_dags(
+        n in 2u32..60,
+        raw in prop::collection::vec((0u32..60, 0u32..60), 0..200),
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        prop_assert!(find_cycle(n as usize, &edges).is_none());
+    }
+
+    /// Planting a directed cycle among random DAG edges is always
+    /// found, and the returned node sequence traverses real edges.
+    #[test]
+    fn find_cycle_finds_planted_cycle(
+        n in 3u32..60,
+        raw in prop::collection::vec((0u32..60, 0u32..60), 0..150),
+        cycle_len in 2u32..10,
+        start in 0u32..60,
+    ) {
+        let mut edges: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        // Plant a cycle over `cycle_len` distinct nodes starting at a
+        // random offset (wrapping modulo n keeps the nodes in range).
+        let len = cycle_len.min(n);
+        let members: Vec<u32> = (0..len).map(|i| (start + i) % n).collect();
+        for w in 0..len as usize {
+            edges.push((members[w], members[(w + 1) % len as usize]));
+        }
+        let found = find_cycle(n as usize, &edges).expect("planted cycle missed");
+        prop_assert!(found.len() >= 2);
+        // Every consecutive pair (wrapping) must be a real edge.
+        for i in 0..found.len() {
+            let a = found[i];
+            let b = found[(i + 1) % found.len()];
+            prop_assert!(
+                edges.contains(&(a, b)),
+                "reported cycle uses non-edge {}->{}", a, b
+            );
+        }
+    }
+
+    /// The four Table V hashes are deterministic and in range for any
+    /// line address and any power-of-two signature size.
+    #[test]
+    fn table_v_hashes_deterministic_and_in_range(
+        line in 0u64..u64::MAX / 2,
+        bits_log2 in 6u32..14,
+    ) {
+        let bits = 1u64 << bits_log2;
+        let h1 = table_v_hashes(LineAddr(line), bits);
+        let h2 = table_v_hashes(LineAddr(line), bits);
+        prop_assert_eq!(h1, h2);
+        for h in h1 {
+            prop_assert!(h < bits);
+        }
+    }
+
+    /// Membership soundness of the signature against its hash family:
+    /// after inserting a set of lines, every member still probes
+    /// positive (no false negatives), for any signature size.
+    #[test]
+    fn table_v_membership_sound(
+        lines in prop::collection::vec(0u64..10_000_000, 1..200),
+        bits_log2 in 6u32..12,
+    ) {
+        let sig = Signature::new(1usize << bits_log2);
+        for &l in &lines {
+            sig.insert(LineAddr(l));
+        }
+        for &l in &lines {
+            prop_assert!(sig.maybe_contains(LineAddr(l)));
         }
     }
 

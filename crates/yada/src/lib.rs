@@ -170,9 +170,7 @@ pub fn refine_on(rt: &TmRuntime, problem: &Problem, max_inserts: u64) -> tm::Run
                         // (midpoint insertion + Lawson legalization).
                         let new_tris = if in_domain {
                             p.mesh.insert_point(txn, t, cc)?
-                        } else if let Some((w, i)) =
-                            p.mesh.locate_escape(txn, t, cc)?
-                        {
+                        } else if let Some((w, i)) = p.mesh.locate_escape(txn, t, cc)? {
                             p.mesh.split_boundary_edge(txn, w, i, cc)?
                         } else {
                             None

@@ -339,10 +339,6 @@ impl Mesh {
         Ok(Some(new_tris.into_iter().map(|(t, _, _)| t).collect()))
     }
 
-    /// Point `outside`'s neighbor slot for the shared edge `(va, vb)` at
-    /// `new_tri`. A triangle can border the cavity on more than one
-    /// edge, so the slot must be selected by edge, not by membership.
-
     /// Walk from `start` toward `p`; if the walk would leave the mesh,
     /// return the (triangle, edge-index) of the boundary edge it exits
     /// through. Returns `None` when `p` is reachable inside the mesh.
@@ -492,8 +488,8 @@ impl Mesh {
         let tn = self.neighbors(m, t)?;
         let t_ab = tn[2]; // across (p0, a)
         let t_bp = tn[1]; // across (b, p0)
-        // u's vertex layout: u contains a, b, q with the shared edge
-        // (a, b) reversed; find indices of a and b in u.
+                          // u's vertex layout: u contains a, b, q with the shared edge
+                          // (a, b) reversed; find indices of a and b in u.
         let Some(ua_idx) = (0..3).find(|&k| uv[k] == a) else {
             return tm::txn::abort();
         };
@@ -502,7 +498,7 @@ impl Mesh {
         };
         let u_aq = self.neighbors(m, u)?[ub_idx]; // across (a, q), opposite b
         let u_qb = self.neighbors(m, u)?[ua_idx]; // across (q, b), opposite a
-        // New triangles, inserted vertex first.
+                                                  // New triangles, inserted vertex first.
         let x = self.new_triangle(m, [p0, a, q], [u_aq, 0, t_ab])?;
         let y = self.new_triangle(m, [p0, q, b], [u_qb, t_bp, 0])?;
         // x: opposite a (slot 1) is edge (q, p0) -> y;
@@ -634,9 +630,15 @@ mod split_tests {
         // Edge (p0, p1) is opposite v0 = p2. A far point does not
         // encroach its diametral circle.
         let far = Point { x: 5.0, y: 9.9 };
-        assert!(mesh.split_boundary_edge(&mut m, t, 0, far).unwrap().is_none());
+        assert!(mesh
+            .split_boundary_edge(&mut m, t, 0, far)
+            .unwrap()
+            .is_none());
         // A close point does.
         let near = Point { x: 5.0, y: 1.0 };
-        assert!(mesh.split_boundary_edge(&mut m, t, 0, near).unwrap().is_some());
+        assert!(mesh
+            .split_boundary_edge(&mut m, t, 0, near)
+            .unwrap()
+            .is_some());
     }
 }

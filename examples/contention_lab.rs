@@ -30,7 +30,7 @@ fn main() {
         "policy", "sim cycles", "retries/txn", "verified"
     );
 
-    let mut run = |label: &str, cfg: TmConfig| {
+    let run = |label: &str, cfg: TmConfig| {
         let rep = intruder::run(&params, cfg);
         println!(
             "{:<44} {:>14} {:>12.2} {:>9}",

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter` — measuring plain wall-clock
+//! time with `std::time::Instant` and printing one line per benchmark
+//! (median of the sample means). No statistics beyond that: the benches
+//! here compare orders of magnitude, not nanosecond deltas.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export used by some criterion idioms (`black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named parameterized benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (the group name supplies the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    want: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f`, collecting one sample per configured sample count.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and calibration: aim each sample at ~10ms of work.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.want.max(2) {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        want: sample_size,
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let per_iter = median.as_nanos() as f64 / b.iters_per_sample as f64;
+    println!("{label:<40} {:>12.0} ns/iter", per_iter);
+}
+
+/// Declare a group of benchmark functions, with optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

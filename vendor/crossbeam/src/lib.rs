@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate: only the
+//! `utils::CachePadded` wrapper this workspace uses, with the same
+//! alignment contract (pad to a cache-line multiple so adjacent values
+//! never share a line and per-thread state never false-shares).
+
+/// Miscellaneous utilities (mirrors `crossbeam::utils`).
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes — the conservative
+    /// cross-architecture choice crossbeam itself makes for x86-64
+    /// (adjacent-line prefetcher pulls pairs of 64-byte lines).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value` in cache-line padding.
+        #[inline]
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap, returning the inner value.
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        #[inline]
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn alignment_is_128() {
+            assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+            let arr = [CachePadded::new(0u64), CachePadded::new(1u64)];
+            let a = &arr[0] as *const _ as usize;
+            let b = &arr[1] as *const _ as usize;
+            assert!(b - a >= 128);
+        }
+
+        #[test]
+        fn deref_roundtrip() {
+            let mut x = CachePadded::new(7u32);
+            *x += 1;
+            assert_eq!(*x, 8);
+            assert_eq!(x.into_inner(), 8);
+        }
+    }
+}

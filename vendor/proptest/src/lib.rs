@@ -1,0 +1,449 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the exact surface this workspace's property tests use:
+//! the `proptest!` macro (with `#![proptest_config(...)]` headers), the
+//! [`strategy::Strategy`] trait with `prop_map`, range / tuple / `any`
+//! strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop_oneof!`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * cases are drawn from a fixed deterministic RNG seeded per test
+//!   (by test-name hash), so runs are reproducible but not persisted
+//!   to a regression file;
+//! * no shrinking — a failing case reports its values via the assert
+//!   message instead of a minimized counterexample.
+#![allow(clippy::type_complexity)]
+
+pub mod test_runner {
+    //! Case-count configuration and the deterministic RNG.
+
+    /// Subset of proptest's `Config` that the workspace sets.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* source for strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test's name so each property gets a distinct
+        /// but reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: if h == 0 { 0x9E37_79B9 } else { h },
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw in `[lo, hi)`; `hi` must exceed `lo`.
+        pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(hi > lo);
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value from `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.start as u64, self.end as u64) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (subset of
+    /// proptest's `Arbitrary`).
+    pub trait ArbValue {
+        /// Draw an unconstrained value.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbValue for $t {
+                fn arb(rng: &mut TestRng) -> $t { rng.next_u64() as $t }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl ArbValue for bool {
+        fn arb(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: ArbValue> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: ArbValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Uniform choice between heterogeneous strategies with a common
+    /// value type (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} arms)", self.arms.len())
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Build from pre-boxed arms (see [`Union::arm`]).
+        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Box one strategy as a sampling arm.
+        pub fn arm<S>(s: S) -> Box<dyn Fn(&mut TestRng) -> T>
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            Box::new(move |rng| s.sample(rng))
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.in_range(0, self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `option`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with random length in `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// `prop::collection::vec(elem, len_range)`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty length range");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! Option strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `Option`s (roughly 3:1 `Some`, like proptest's
+        /// default weighting).
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `prop::option::of(strategy)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.next_u64().is_multiple_of(4) {
+                    None
+                } else {
+                    Some(self.inner.sample(rng))
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file needs in scope.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __dbg = format!(concat!($(stringify!($arg), "={:?} ",)+), $(&$arg),+);
+                let __r: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __r {
+                    panic!(
+                        "property {} failed at case {}/{} with {}: {}",
+                        stringify!($name), __case + 1, __cfg.cases, __dbg, __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts only the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a != __b {
+            return ::std::result::Result::Err(format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err(format!(
+                "{} == {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with one common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop::collection::vec(
+                prop_oneof![
+                    (0u64..4, any::<bool>()).prop_map(|(k, b)| (k, b as u64)),
+                    (4u64..8).prop_map(|k| (k, 99)),
+                ],
+                1..50,
+            )
+        ) {
+            for (k, tag) in v {
+                if k < 4 {
+                    prop_assert!(tag <= 1);
+                } else {
+                    prop_assert_eq!(tag, 99);
+                }
+            }
+        }
+
+        #[test]
+        fn option_of_produces_both(vs in prop::collection::vec(prop::option::of(0u64..10), 40..60)) {
+            // With ~75% Some over >=40 draws, both variants appear with
+            // overwhelming probability under the deterministic stream.
+            prop_assert!(vs.iter().any(|v| v.is_some()));
+            prop_assert!(vs.iter().any(|v| v.is_none()));
+            prop_assert_ne!(vs.len(), 0);
+        }
+    }
+}

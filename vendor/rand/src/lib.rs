@@ -1,0 +1,49 @@
+//! Offline stand-in for the `rand` crate. The workspace declares the
+//! dependency but draws all randomness from its own deterministic
+//! generators (the STAMP MT19937 in `stamp-util`, XorShift64 in `tm`),
+//! so only a tiny seedable generator is provided for completeness.
+
+/// A minimal xorshift64* generator, seedable and deterministic.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator; a zero seed is remapped to a fixed non-zero
+    /// constant (xorshift has an all-zero fixed point).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_nontrivial() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+}
