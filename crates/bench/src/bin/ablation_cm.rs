@@ -1,0 +1,129 @@
+//! Ablation: the five `tm::cm` contention-management policies on the
+//! high-contention STAMP variants.
+//!
+//! Sweeps every [`CmPolicy`] over {genome, intruder, vacation-high,
+//! kmeans-high} × the thread list, on each variant's most
+//! contention-prone system (eager HTM restarts immediately by default,
+//! so it is where policy choice matters most; genome runs on the eager
+//! STM, whose write locks make its hash-table insert phase the
+//! contended one). Reports simulated cycles, retries, backoff cycles,
+//! and — for `karma`/`adaptive` — priority-arbitration wins/losses and
+//! serialized commits.
+//!
+//! Flags: `--scale N`, `--variants a,b,...`, `--threadlist 1,2,...`,
+//! `--system <label>` (force one system, e.g. `--system "Lazy STM"`),
+//! `--smoke` (CI-sized: scale ≥ 64, threads {2,8}), `--json <path>`
+//! (emit one JSON row per run, e.g. `results/BENCH_ablation_cm.json`).
+
+use bench::json::JsonSink;
+use bench::{harness_flags, run_variant, selected_variants};
+use stamp_util::Args;
+use tm::{CmPolicy, SystemKind, TmConfig};
+
+/// The system on which contention management matters most for each
+/// default variant (see module docs).
+fn pathology_system(variant: &str) -> SystemKind {
+    match variant {
+        "genome" => SystemKind::EagerStm,
+        _ => SystemKind::EagerHtm,
+    }
+}
+
+fn parse_system(label: &str) -> SystemKind {
+    let norm: String = label
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    SystemKind::ALL_TM
+        .into_iter()
+        .find(|s| {
+            s.label()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase()
+                == norm
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "--system {label:?} is not a TM system (valid: {:?})",
+                SystemKind::ALL_TM.map(|s| s.label())
+            )
+        })
+}
+
+fn main() {
+    let args = Args::from_env();
+    let (scale, filter, threads) = harness_flags(&args);
+    let smoke = args.get_bool("smoke");
+    let scale = if smoke { scale.max(64) } else { scale };
+    let threads: Vec<usize> = if smoke { vec![2, 8] } else { threads };
+    let forced = args.get("system").map(parse_system);
+    let json_path = args.get("json").map(std::path::PathBuf::from);
+    let mut sink = JsonSink::new();
+    let variants = selected_variants(&filter.or(Some(vec![
+        "genome".into(),
+        "intruder".into(),
+        "vacation-high".into(),
+        "kmeans-high".into(),
+    ])));
+
+    println!("ABLATION: contention-management policies (scale 1/{scale})");
+    println!(
+        "{:<14} {:<12} {:<12} {:>3} {:>14} {:>9} {:>12} {:>8} {:>7} {:>7} | verify",
+        "variant",
+        "system",
+        "policy",
+        "p",
+        "cycles",
+        "ret/txn",
+        "backoff",
+        "serial",
+        "wins",
+        "losses"
+    );
+    for v in &variants {
+        let sys = forced.unwrap_or_else(|| pathology_system(v.name));
+        for policy in CmPolicy::ALL {
+            for &t in &threads {
+                let rep = run_variant(v, scale, TmConfig::new(sys, t).cm(policy));
+                let s = &rep.run.stats;
+                println!(
+                    "{:<14} {:<12} {:<12} {:>3} {:>14} {:>9.2} {:>12} {:>8} {:>7} {:>7} | {}",
+                    v.name,
+                    sys.label(),
+                    policy.label(),
+                    t,
+                    rep.run.sim_cycles,
+                    s.retries_per_txn(),
+                    s.backoff_cycles,
+                    s.serialized_commits,
+                    s.priority_wins,
+                    s.priority_losses,
+                    if rep.verified { "OK" } else { "FAILED" },
+                );
+                assert!(
+                    rep.verified,
+                    "{} under {} with {}",
+                    v.name,
+                    sys.label(),
+                    policy.label()
+                );
+                if json_path.is_some() {
+                    sink.push(
+                        bench::json::report_row(v.name, &rep)
+                            .str("cm", policy.label())
+                            .u64("priority_wins", s.priority_wins)
+                            .u64("priority_losses", s.priority_losses),
+                    );
+                }
+            }
+        }
+        println!("{:-<132}", "");
+    }
+    if let Some(path) = json_path {
+        sink.write(&path);
+        eprintln!("wrote {} rows to {}", sink.len(), path.display());
+    }
+}

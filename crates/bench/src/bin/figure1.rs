@@ -7,8 +7,11 @@
 //! exactly the paper's normalization.
 //!
 //! Flags: `--scale N` (shrink workloads), `--variants a,b,...`,
-//! `--threadlist 1,2,4,8,16`, `--csv` (machine-readable rows only).
+//! `--threadlist 1,2,4,8,16`, `--csv` (machine-readable rows only),
+//! `--json <path>` (append the rows as JSON, e.g.
+//! `results/BENCH_figure1.json`).
 
+use bench::json::JsonSink;
 use bench::{figure1_systems, harness_flags, run_variant, selected_variants, sequential_cycles};
 use stamp_util::Args;
 use tm::{SystemKind, TmConfig};
@@ -17,6 +20,8 @@ fn main() {
     let args = Args::from_env();
     let (scale, filter, threads) = harness_flags(&args);
     let csv = args.get_bool("csv");
+    let json_path = args.get("json").map(std::path::PathBuf::from);
+    let mut sink = JsonSink::new();
     let plot = args.get_bool("plot");
     let with_lock = args.get_bool("with-lock");
     let variants = selected_variants(&filter);
@@ -48,6 +53,13 @@ fn main() {
                 let rep = run_variant(v, scale, TmConfig::new(sys, t));
                 let speedup = baseline as f64 / rep.run.sim_cycles.max(1) as f64;
                 retries_at_max = rep.run.stats.retries_per_txn();
+                if json_path.is_some() {
+                    sink.push(
+                        bench::json::report_row(v.name, &rep)
+                            .u64("seq_cycles", baseline)
+                            .f64("speedup", speedup),
+                    );
+                }
                 if csv {
                     println!(
                         "{},{},{},{},{:.3},{:.3},{}",
@@ -84,5 +96,9 @@ fn main() {
                 )
             );
         }
+    }
+    if let Some(path) = json_path {
+        sink.write(&path);
+        eprintln!("wrote {} rows to {}", sink.len(), path.display());
     }
 }

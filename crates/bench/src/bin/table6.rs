@@ -15,8 +15,10 @@
 //! retry-column thread count, default 16), `--working-sets`,
 //! `--verify` (run the `tm::verify` sanitizer alongside each
 //! measurement and report its verdict and wall-clock cost; simulated
-//! cycles are unaffected).
+//! cycles are unaffected), `--json <path>` (emit one JSON row per
+//! variant × system with `sim_cycles`, e.g. `results/BENCH_table6.json`).
 
+use bench::json::JsonSink;
 use bench::{harness_flags, pct, run_variant, selected_variants};
 use stamp_util::Args;
 use tm::{CacheGeometry, SystemKind, TmConfig, VerifyCost};
@@ -27,6 +29,8 @@ fn main() {
     let retry_threads = args.get_u64("threads16", 16) as usize;
     let do_ws = args.get_bool("working-sets");
     let do_verify = args.get_bool("verify");
+    let json_path = args.get("json").map(std::path::PathBuf::from);
+    let mut sink = JsonSink::new();
     let variants = selected_variants(&filter);
 
     println!("TABLE VI: Basic characterization of the STAMP applications (scale 1/{scale})");
@@ -60,6 +64,17 @@ fn main() {
         let ehtm = run_variant(v, scale, cfg(SystemKind::EagerHtm));
         let estm = run_variant(v, scale, cfg(SystemKind::EagerStm));
         let ok = htm.verified && stm.verified && ehtm.verified && estm.verified;
+        if json_path.is_some() {
+            for rep in [&htm, &stm, &ehtm, &estm] {
+                sink.push(
+                    bench::json::report_row(v.name, rep)
+                        .f64("mean_txn_len", rep.run.stats.mean_txn_len())
+                        .u64("p90_read_lines", rep.run.stats.p90_read_lines() as u64)
+                        .u64("p90_write_lines", rep.run.stats.p90_write_lines() as u64)
+                        .f64("time_in_txn", rep.run.stats.time_in_txn()),
+                );
+            }
+        }
         println!(
             "{:<15} {:>10.0} {:>8} {:>8} {:>8} {:>8} {:>7} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {}",
             v.name,
@@ -158,5 +173,9 @@ fn main() {
             );
         }
         println!("(knees in the miss-rate curve mark Table VI's working-set columns)");
+    }
+    if let Some(path) = json_path {
+        sink.write(&path);
+        eprintln!("wrote {} rows to {}", sink.len(), path.display());
     }
 }

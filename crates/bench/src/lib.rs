@@ -18,6 +18,7 @@
 //! | `ablation_sigsize` | Table V signatures (hybrid false conflicts) |
 //! | `ablation_stall` | eager-HTM requester-aborts vs LogTM-style stalls |
 //! | `ablation_bayes_backend` | bayes ADtree vs record-scan sufficient statistics |
+//! | `ablation_cm` | §V-A contention management: the five `tm::cm` policies on the high-contention variants |
 //!
 //! `scripts/reproduce.sh` runs all of them and refreshes `results/`.
 //!
@@ -27,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod lint;
 
 use stamp_util::{AppParams, AppReport, Variant};

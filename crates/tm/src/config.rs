@@ -1,6 +1,8 @@
 //! Runtime configuration: which TM system to model, how many logical
 //! processors, and the machine cost model of Table V.
 
+use crate::cm::CmPolicy;
+
 /// The six TM system designs evaluated in the STAMP paper (§IV), plus a
 /// sequential baseline used for speedup normalization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -371,8 +373,15 @@ pub struct TmConfig {
     /// overflow filter (Table V: 2048).
     pub signature_bits: usize,
     /// Backoff policy override; `None` selects the paper's policy for
-    /// the configured system.
+    /// the configured system. Superseded by [`TmConfig::cm`] when that
+    /// is set; kept so existing ablations can tweak just the backoff
+    /// curve of the default contention manager.
     pub backoff: Option<BackoffPolicy>,
+    /// Contention-manager override; `None` derives the paper's default
+    /// policy for the configured system (see [`TmConfig::effective_cm`]).
+    /// Also settable with the `TM_CM=<policy>` environment variable
+    /// (see [`CmPolicy::parse`] for accepted names).
+    pub cm: Option<CmPolicy>,
     /// Number of aborts after which an eager-HTM transaction is promoted
     /// to high priority (the paper's livelock guard: 32).
     pub htm_priority_after: u32,
@@ -429,6 +438,15 @@ impl TmConfig {
             cache_sim: false,
             signature_bits: 2048,
             backoff: None,
+            cm: match std::env::var("TM_CM") {
+                Ok(v) if !v.is_empty() => Some(CmPolicy::parse(&v).unwrap_or_else(|| {
+                    panic!(
+                        "TM_CM={v:?} is not a contention-manager policy \
+                         (expected immediate|linear|exponential|karma|adaptive)"
+                    )
+                })),
+                _ => None,
+            },
             htm_priority_after: 32,
             htm_conflict: HtmConflictPolicy::default(),
             seed: 0x5eed_cafe,
@@ -480,6 +498,13 @@ impl TmConfig {
         self
     }
 
+    /// Override the contention-manager policy (takes precedence over
+    /// [`TmConfig::backoff`] and the `TM_CM` environment variable).
+    pub fn cm(mut self, policy: CmPolicy) -> Self {
+        self.cm = Some(policy);
+        self
+    }
+
     /// Set the eager-HTM conflict-resolution policy.
     pub fn htm_conflict(mut self, policy: HtmConflictPolicy) -> Self {
         self.htm_conflict = policy;
@@ -526,6 +551,18 @@ impl TmConfig {
                 base: 200,
             },
         }
+    }
+
+    /// The effective contention-manager policy: the [`TmConfig::cm`]
+    /// override if set (builder or `TM_CM` env), otherwise the policy
+    /// equivalent to [`TmConfig::effective_backoff`] — which reproduces
+    /// the paper's per-system retry schedule bit-for-bit and still
+    /// honors legacy [`TmConfig::backoff`] overrides.
+    pub fn effective_cm(&self) -> CmPolicy {
+        if let Some(p) = self.cm {
+            return p;
+        }
+        CmPolicy::from_backoff(self.effective_backoff())
     }
 }
 
@@ -578,6 +615,24 @@ mod tests {
             TmConfig::new(SystemKind::LazyStm, 2).effective_backoff(),
             BackoffPolicy::RandomizedLinear { after: 3, .. }
         ));
+    }
+
+    #[test]
+    fn default_cm_mirrors_backoff() {
+        assert_eq!(
+            TmConfig::new(SystemKind::EagerHtm, 2).effective_cm(),
+            CmPolicy::Immediate
+        );
+        assert_eq!(
+            TmConfig::new(SystemKind::LazyStm, 2).effective_cm(),
+            CmPolicy::DEFAULT_LINEAR
+        );
+        // A legacy backoff override still flows through the CM layer...
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2).backoff(BackoffPolicy::None);
+        assert_eq!(cfg.effective_cm(), CmPolicy::Immediate);
+        // ...but an explicit CM choice wins.
+        let cfg = cfg.cm(CmPolicy::DEFAULT_KARMA);
+        assert_eq!(cfg.effective_cm(), CmPolicy::DEFAULT_KARMA);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod cm;
 pub mod config;
 pub mod directory;
 pub mod fxhash;
@@ -65,6 +66,7 @@ pub mod txn;
 pub mod verify;
 
 pub use addr::{LineAddr, WordAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use cm::{AbortAction, CmCtx, CmPolicy, CmShared, ContentionManager};
 pub use config::{
     BackoffPolicy, CacheGeometry, CostModel, Granularity, HtmConflictPolicy, MutationHook,
     SystemKind, TmConfig,

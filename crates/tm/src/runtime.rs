@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use crate::addr::{LineAddr, WordAddr};
 use crate::cache::CacheModel;
+use crate::cm::{make_cm, CmShared, ContentionManager};
 use crate::config::MutationHook;
 use crate::config::{SystemKind, TmConfig};
 use crate::directory::Directory;
@@ -55,6 +56,8 @@ pub(crate) struct Global {
     /// Per-thread timestamp of the current transaction attempt.
     pub txn_ts: Vec<CachePadded<std::sync::atomic::AtomicU64>>,
     pub scheduler: Scheduler,
+    /// Cross-thread contention-manager state (Karma priorities).
+    pub cm_shared: CmShared,
     /// The serializability sanitizer, when `config.verify` is set.
     pub verify: Option<VerifyState>,
 }
@@ -87,6 +90,7 @@ impl Global {
                 .map(|_| CachePadded::new(std::sync::atomic::AtomicU64::new(u64::MAX)))
                 .collect(),
             scheduler: Scheduler::new(n, config.quantum, config.simulate),
+            cm_shared: CmShared::new(n),
             verify: config.verify.then(VerifyState::default),
             heap,
             config,
@@ -257,6 +261,8 @@ pub struct ThreadCtx {
     pub(crate) txn: TxnState,
     pub(crate) in_txn: bool,
     pub(crate) has_priority: bool,
+    /// This thread's contention manager (see [`crate::cm`]).
+    pub(crate) cm: Box<dyn ContentionManager>,
     /// Per-attempt observation log for the `tm::verify` sanitizer
     /// (empty and untouched when verification is off).
     pub(crate) vtx: VerifyTxn,
@@ -269,6 +275,7 @@ impl ThreadCtx {
             .cache_sim
             .then(|| CacheModel::new(global.config.l1));
         let seed = global.config.seed ^ ((tid as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
+        let cm = make_cm(global.config.effective_cm(), &global.config);
         ThreadCtx {
             tid,
             global,
@@ -280,6 +287,7 @@ impl ThreadCtx {
             txn: TxnState::default(),
             in_txn: false,
             has_priority: false,
+            cm,
             vtx: VerifyTxn::default(),
         }
     }

@@ -201,6 +201,30 @@ impl SimMutex {
         }
     }
 
+    /// Acquire, calling `spin_tick` once per failed attempt; the closure
+    /// charges simulated cycles and returns whether to keep waiting.
+    /// Returns true once acquired, false if `spin_tick` gave up.
+    ///
+    /// This is the substrate for contention-manager serialization
+    /// ([`crate::cm`]): the wait advances *simulated* time only, so a
+    /// serialized transaction's queueing delay shows up in `sim_cycles`
+    /// exactly like any other stall.
+    pub fn acquire_until(&self, mut spin_tick: impl FnMut() -> bool) -> bool {
+        let mut spins = 0u32;
+        while !self.try_acquire() {
+            if !spin_tick() {
+                return false;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        true
+    }
+
     /// Release the mutex.
     ///
     /// # Panics
@@ -411,6 +435,29 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn sim_mutex_acquire_until_charges_and_gives_up() {
+        let m = SimMutex::new();
+        // Uncontended: acquired without a single tick.
+        let mut ticks = 0u32;
+        assert!(m.acquire_until(|| {
+            ticks += 1;
+            true
+        }));
+        assert_eq!(ticks, 0);
+        // Contended with a bounded wait: ticks accumulate (simulated
+        // cycles would be charged), then the waiter gives up.
+        let mut ticks = 0u32;
+        assert!(!m.acquire_until(|| {
+            ticks += 1;
+            ticks < 10
+        }));
+        assert_eq!(ticks, 10);
+        m.release();
+        assert!(m.acquire_until(|| false));
+        m.release();
     }
 
     #[test]

@@ -111,10 +111,22 @@ impl SampledRecords {
 /// of a run.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadStats {
+    /// Transaction attempts begun (every attempt either commits or
+    /// aborts: `commits + aborts == attempts`, asserted on absorb).
+    pub attempts: u64,
     /// Committed transactions.
     pub commits: u64,
     /// Aborted transaction attempts.
     pub aborts: u64,
+    /// Simulated cycles spent in contention-manager backoff.
+    pub backoff_cycles: u64,
+    /// Eager-HTM conflicts won by priority/karma (victims doomed).
+    pub priority_wins: u64,
+    /// Eager-HTM conflicts lost despite priority/karma arbitration.
+    pub priority_losses: u64,
+    /// Commits whose attempt the contention manager serialized through
+    /// the global queue.
+    pub serialized_commits: u64,
     /// Cycles spent between the first `begin` and the final `commit` of
     /// each transaction (includes aborted attempts and backoff).
     pub cycles_in_txn: u64,
@@ -131,10 +143,20 @@ pub struct ThreadStats {
 /// Aggregated statistics of a complete run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
+    /// Transaction attempts across all threads.
+    pub attempts: u64,
     /// Committed transactions across all threads.
     pub commits: u64,
     /// Aborted attempts across all threads.
     pub aborts: u64,
+    /// Simulated backoff cycles across all threads.
+    pub backoff_cycles: u64,
+    /// Eager-HTM conflicts won by priority/karma arbitration.
+    pub priority_wins: u64,
+    /// Eager-HTM conflicts lost despite priority/karma arbitration.
+    pub priority_losses: u64,
+    /// Commits serialized by the contention manager.
+    pub serialized_commits: u64,
     /// Sum of per-thread in-transaction cycles.
     pub cycles_in_txn: u64,
     /// Sum of per-thread total cycles.
@@ -149,9 +171,30 @@ pub struct RunStats {
 
 impl RunStats {
     /// Fold a thread's statistics into the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Asserts the attempt-accounting invariant: every attempt the
+    /// thread began must have either committed or aborted — exactly
+    /// once. This pins down the abort bookkeeping the contention
+    /// managers rely on (double-counting an abort would inflate every
+    /// CM's view of contention).
     pub fn absorb(&mut self, t: &ThreadStats) {
+        assert_eq!(
+            t.commits + t.aborts,
+            t.attempts,
+            "attempt accounting: commits ({}) + aborts ({}) != attempts ({})",
+            t.commits,
+            t.aborts,
+            t.attempts,
+        );
+        self.attempts += t.attempts;
         self.commits += t.commits;
         self.aborts += t.aborts;
+        self.backoff_cycles += t.backoff_cycles;
+        self.priority_wins += t.priority_wins;
+        self.priority_losses += t.priority_losses;
+        self.serialized_commits += t.serialized_commits;
         self.cycles_in_txn += t.cycles_in_txn;
         self.cycles_total += t.total_cycles;
         self.mem_accesses += t.mem_accesses;
@@ -290,6 +333,7 @@ mod tests {
     fn run_stats_ratios() {
         let mut rs = RunStats::default();
         let mut t = ThreadStats {
+            attempts: 15,
             commits: 10,
             aborts: 5,
             cycles_in_txn: 600,
@@ -304,6 +348,43 @@ mod tests {
         assert_eq!(rs.time_in_txn(), 0.6);
         assert_eq!(rs.p90_read_lines(), 4);
         assert_eq!(rs.mean_txn_len(), 10.0);
+    }
+
+    #[test]
+    fn absorb_sums_cm_counters() {
+        let mut rs = RunStats::default();
+        let t = ThreadStats {
+            attempts: 7,
+            commits: 4,
+            aborts: 3,
+            backoff_cycles: 250,
+            priority_wins: 2,
+            priority_losses: 1,
+            serialized_commits: 1,
+            ..Default::default()
+        };
+        rs.absorb(&t);
+        rs.absorb(&t);
+        assert_eq!(rs.attempts, 14);
+        assert_eq!(rs.backoff_cycles, 500);
+        assert_eq!(rs.priority_wins, 4);
+        assert_eq!(rs.priority_losses, 2);
+        assert_eq!(rs.serialized_commits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt accounting")]
+    fn absorb_rejects_attempt_mismatch() {
+        // Regression guard for the CM refactor: moving abort accounting
+        // into CM callbacks must not double-count (or drop) an outcome.
+        let mut rs = RunStats::default();
+        let t = ThreadStats {
+            attempts: 10,
+            commits: 10,
+            aborts: 5, // 10 + 5 != 10: an abort was double-counted
+            ..Default::default()
+        };
+        rs.absorb(&t);
     }
 
     #[test]

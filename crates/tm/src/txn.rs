@@ -76,6 +76,14 @@ pub(crate) struct TxnState {
     /// Lazy HTM: true once overflow forced this transaction to hold the
     /// commit token (serialized execution).
     pub serialized: bool,
+    /// Software systems: true while this attempt holds the commit token
+    /// because the contention manager serialized it (released centrally
+    /// in `try_commit`/`rollback`; the lazy HTM reuses `serialized`
+    /// instead so its existing token management applies).
+    pub cm_token: bool,
+    /// True when the contention manager serialized this attempt (for
+    /// the `serialized_commits` statistic).
+    pub cm_serialized_attempt: bool,
     /// Application cycles in this attempt (Table VI "instructions").
     pub app_cycles: u64,
     /// Read barrier invocations in this attempt.
@@ -98,6 +106,8 @@ impl TxnState {
         self.overflowed.clear();
         self.set_counts.clear();
         self.serialized = false;
+        self.cm_token = false;
+        self.cm_serialized_attempt = false;
         self.app_cycles = 0;
         self.read_barriers = 0;
         self.write_barriers = 0;
@@ -123,7 +133,7 @@ impl ThreadCtx {
         let start_clock = self.clock;
         let mut retries: u32 = 0;
         loop {
-            self.begin_attempt();
+            self.begin_attempt(retries);
             let committed = {
                 let mut txn = Txn { ctx: &mut *self };
                 match body(&mut txn) {
@@ -155,13 +165,15 @@ impl ThreadCtx {
         }
     }
 
-    fn begin_attempt(&mut self) {
+    fn begin_attempt(&mut self, retries: u32) {
         use std::sync::atomic::Ordering;
         self.in_txn = true;
+        self.stats.attempts += 1;
         self.txn.reset();
         self.verify_begin_attempt();
         self.global.doomed[self.tid].store(false, Ordering::SeqCst);
         self.global.active[self.tid].store(true, Ordering::SeqCst);
+        self.cm_admission(retries);
         self.txn.rv = self.global.clock.read();
         {
             use std::sync::atomic::Ordering;
@@ -189,6 +201,53 @@ impl ThreadCtx {
         self.charge_tm(fixed);
     }
 
+    /// Contention-manager admission control: ask the CM whether this
+    /// attempt should be funneled through the global serialization
+    /// queue, and if so hold the commit token for the attempt's whole
+    /// duration. Runs before the TL2 read-timestamp is taken so a long
+    /// queue wait still yields a fresh snapshot.
+    fn cm_admission(&mut self, retries: u32) {
+        let system = self.global.config.system;
+        if matches!(system, SystemKind::Sequential | SystemKind::GlobalLock) {
+            return; // never transactional / already fully serialized
+        }
+        let serialize = {
+            let ThreadCtx {
+                cm,
+                rng,
+                global,
+                tid,
+                ..
+            } = self;
+            let mut cctx = crate::cm::CmCtx {
+                tid: *tid,
+                retries,
+                attempt_work: 0,
+                rng,
+                shared: &global.cm_shared,
+            };
+            cm.on_begin(&mut cctx)
+        };
+        if !serialize {
+            return;
+        }
+        // The wait advances simulated time only (10 cycles per probe,
+        // like the GlobalLock spin), never host wall-clock sleeps.
+        let global = self.global.clone();
+        global.commit_token.acquire_until(|| {
+            self.charge_tm(10);
+            true
+        });
+        self.txn.cm_serialized_attempt = true;
+        if system == SystemKind::LazyHtm {
+            // Reuse the overflow-serialization path: commit and rollback
+            // already release the token when `serialized` is set.
+            self.txn.serialized = true;
+        } else {
+            self.txn.cm_token = true;
+        }
+    }
+
     fn finish_commit(&mut self, start_clock: u64, retries: u32) {
         use std::sync::atomic::Ordering;
         self.verify_commit_attempt();
@@ -199,6 +258,27 @@ impl ThreadCtx {
                 .compare_exchange(self.tid, NO_PRIORITY, Ordering::AcqRel, Ordering::Relaxed)
                 .ok();
             self.has_priority = false;
+        }
+        {
+            let ThreadCtx {
+                cm,
+                rng,
+                global,
+                txn,
+                tid,
+                ..
+            } = self;
+            let mut cctx = crate::cm::CmCtx {
+                tid: *tid,
+                retries,
+                attempt_work: txn.app_cycles,
+                rng,
+                shared: &global.cm_shared,
+            };
+            cm.on_commit(&mut cctx);
+        }
+        if self.txn.cm_serialized_attempt {
+            self.stats.serialized_commits += 1;
         }
         self.stats.commits += 1;
         self.stats.cycles_in_txn += self.clock - start_clock;
@@ -214,34 +294,36 @@ impl ThreadCtx {
     }
 
     fn after_abort(&mut self, retries: u32) {
-        use crate::config::BackoffPolicy;
         use std::sync::atomic::Ordering;
         let fixed = self.global.config.cost.abort_fixed;
         self.charge_tm(fixed);
-        match self.global.config.effective_backoff() {
-            BackoffPolicy::None => {}
-            BackoffPolicy::RandomizedLinear { after, base } => {
-                if retries >= after {
-                    let window = base * (retries - after + 1) as u64 + 1;
-                    let delay = self.rng.below(window);
-                    self.charge_tm(delay);
-                }
-            }
-            BackoffPolicy::ExponentialRandom {
-                after,
-                base,
-                max_exp,
-            } => {
-                if retries >= after {
-                    let exp = (retries - after).min(max_exp);
-                    let window = base.saturating_mul(1u64 << exp.min(40)) + 1;
-                    let delay = self.rng.below(window);
-                    self.charge_tm(delay);
-                }
-            }
+        let action = {
+            let ThreadCtx {
+                cm,
+                rng,
+                global,
+                txn,
+                tid,
+                ..
+            } = self;
+            let mut cctx = crate::cm::CmCtx {
+                tid: *tid,
+                retries,
+                attempt_work: txn.app_cycles,
+                rng,
+                shared: &global.cm_shared,
+            };
+            cm.on_abort(&mut cctx)
+        };
+        if action.backoff_cycles > 0 {
+            // A zero-cycle charge never flushes (pending stays below the
+            // flush threshold), so skipping it is interleaving-neutral
+            // and keeps the default schedules bit-identical.
+            self.stats.backoff_cycles += action.backoff_cycles;
+            self.charge_tm(action.backoff_cycles);
         }
-        if self.global.config.system == SystemKind::EagerHtm
-            && retries >= self.global.config.htm_priority_after
+        if action.request_priority
+            && self.global.config.system == SystemKind::EagerHtm
             && !self.has_priority
         {
             // The paper's livelock guard: after 32 aborts a transaction is
@@ -736,10 +818,19 @@ impl Txn<'_> {
         }
         let stall = self.ctx.global.config.htm_conflict
             == crate::config::HtmConflictPolicy::RequesterStalls;
-        if !self.ctx.has_priority && !stall {
+        // Contention-manager arbitration (Karma): a requester with
+        // strictly higher priority than every victim wins the conflict
+        // as if it held the priority token. Fixed policies never win.
+        let cm_win = !self.ctx.has_priority
+            && self
+                .ctx
+                .cm
+                .wins_conflict(self.ctx.tid, victims, &self.ctx.global.cm_shared);
+        if !self.ctx.has_priority && !cm_win && !stall {
+            self.ctx.stats.priority_losses += 1;
             return Err(Abort(()));
         }
-        if stall && !self.ctx.has_priority {
+        if stall && !self.ctx.has_priority && !cm_win {
             // LogTM-style deadlock avoidance: only the *older*
             // transaction may stall; a younger requester aborts so the
             // wait-for graph stays acyclic.
@@ -753,7 +844,7 @@ impl Txn<'_> {
                 }
             }
         }
-        let doom = self.ctx.has_priority;
+        let doom = self.ctx.has_priority || cm_win;
         // Stalling requesters get a bounded wait (LogTM-style, with a
         // timeout in place of deadlock detection); priority holders doom
         // their victims and wait for them to vacate.
@@ -763,6 +854,9 @@ impl Txn<'_> {
             let occ = self.ctx.global.directory.occupancy(line);
             let remaining = (occ.readers | occ.writers) & victims;
             if remaining == 0 {
+                if doom {
+                    self.ctx.stats.priority_wins += 1;
+                }
                 return Ok(());
             }
             if doom {
@@ -774,6 +868,13 @@ impl Txn<'_> {
                     mask &= mask - 1;
                     self.ctx.global.doomed[v].store(true, Ordering::SeqCst);
                 }
+                // A karma winner can itself be doomed by a token holder
+                // or a concurrent karma winner: yield rather than stall
+                // a conflict we have already lost.
+                if cm_win && !self.ctx.has_priority && self.is_doomed() {
+                    self.ctx.stats.priority_losses += 1;
+                    return Err(Abort(()));
+                }
             } else if self.is_doomed() {
                 return Err(Abort(()));
             }
@@ -781,6 +882,9 @@ impl Txn<'_> {
             spins += 1;
             if spins > limit {
                 // Timeout: give up (stall) / safety valve (priority).
+                if doom {
+                    self.ctx.stats.priority_losses += 1;
+                }
                 return Err(Abort(()));
             }
             if spins.is_multiple_of(64) {
@@ -968,6 +1072,12 @@ impl Txn<'_> {
             SystemKind::LazyHybrid => self.commit_lazy_hybrid(),
             SystemKind::EagerHybrid => self.commit_eager_hybrid(),
         };
+        if result.is_ok() && self.ctx.txn.cm_token {
+            // CM-serialized attempt: the token was held since begin;
+            // release it only now that the commit's effects are visible.
+            self.ctx.global.commit_token.release();
+            self.ctx.txn.cm_token = false;
+        }
         if result.is_err() {
             self.rollback();
         }
@@ -1208,7 +1318,11 @@ impl Txn<'_> {
         use std::sync::atomic::Ordering;
         self.check_doomed()?;
         let cost = self.ctx.global.config.cost;
-        if self.ctx.txn.write_map.is_empty() {
+        // A CM-serialized attempt already holds the commit token: the
+        // fence/acquire below would self-deadlock, and the token is
+        // released centrally in `try_commit`/`rollback` instead.
+        let cm_held = self.ctx.txn.cm_token;
+        if self.ctx.txn.write_map.is_empty() && !cm_held {
             self.read_only_fence()?;
             self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
             self.ctx.global.read_sigs[self.ctx.tid].clear();
@@ -1217,9 +1331,13 @@ impl Txn<'_> {
                 .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
             return Ok(());
         }
-        self.acquire_commit_token()?;
+        if !cm_held {
+            self.acquire_commit_token()?;
+        }
         if self.is_doomed() {
-            self.ctx.global.commit_token.release();
+            if !cm_held {
+                self.ctx.global.commit_token.release();
+            }
             return Err(Abort(()));
         }
         let lines: Vec<u64> = self.ctx.txn.write_lines.iter().copied().collect();
@@ -1246,7 +1364,9 @@ impl Txn<'_> {
         self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
         self.ctx.global.read_sigs[self.ctx.tid].clear();
         self.ctx.global.write_sigs[self.ctx.tid].clear();
-        self.ctx.global.commit_token.release();
+        if !cm_held {
+            self.ctx.global.commit_token.release();
+        }
         self.ctx
             .charge_tm(cost.txn_fixed_for(self.ctx.global.config.system));
         Ok(())
@@ -1334,6 +1454,14 @@ impl Txn<'_> {
                 self.ctx.global.write_sigs[self.ctx.tid].clear();
             }
             _ => {}
+        }
+        // 4. Release the CM serialization token (held since begin when
+        // the contention manager serialized this attempt). After the
+        // coherence/signature cleanup above, so no successor observes
+        // this attempt's stale conflict state.
+        if self.ctx.txn.cm_token {
+            self.ctx.global.commit_token.release();
+            self.ctx.txn.cm_token = false;
         }
         self.ctx.global.active[self.ctx.tid].store(false, Ordering::SeqCst);
     }

@@ -2,10 +2,12 @@
 
 use proptest::prelude::*;
 use tm::addr::{LineAddr, WordAddr};
-use tm::config::Granularity;
+use tm::cm::{make_cm, CmCtx, CmPolicy, CmShared};
+use tm::config::{BackoffPolicy, Granularity};
 use tm::locks::{GlobalClock, LockTable, LockWord};
 use tm::signature::{table_v_hashes, Signature};
 use tm::verify::find_cycle;
+use tm::{SystemKind, TmConfig, XorShift64};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -159,6 +161,149 @@ proptest! {
         for &l in &lines {
             prop_assert!(sig.maybe_contains(LineAddr(l)));
         }
+    }
+
+    /// Every contention-management policy's backoff window is bounded
+    /// (never exceeds its value at the cap) and monotone nondecreasing
+    /// in the abort count — no policy can stall a transaction forever
+    /// or shrink its window as contention persists.
+    #[test]
+    fn cm_backoff_window_bounded_and_monotone(
+        r1 in 0u32..100_000,
+        r2 in 0u32..100_000,
+    ) {
+        let (lo, hi) = (r1.min(r2), r1.max(r2));
+        for policy in CmPolicy::ALL {
+            let cfg = TmConfig::new(SystemKind::LazyStm, 2);
+            let cm = make_cm(policy, &cfg);
+            let bound = cm.backoff_window(u32::MAX);
+            prop_assert!(
+                cm.backoff_window(lo) <= cm.backoff_window(hi),
+                "{policy} window not monotone at {lo}..{hi}"
+            );
+            prop_assert!(
+                cm.backoff_window(hi) <= bound,
+                "{policy} window exceeds its cap"
+            );
+        }
+    }
+
+    /// `Immediate` replays the pre-refactor `BackoffPolicy::None`
+    /// schedule on any abort trace: zero backoff everywhere and no RNG
+    /// draws (the stream that seeds every downstream randomized
+    /// decision stays bit-identical).
+    #[test]
+    fn cm_immediate_replays_pre_refactor_none(
+        seed in 1u64..u64::MAX,
+        trace in prop::collection::vec(1u32..5_000, 1..200),
+    ) {
+        let cfg = TmConfig::new(SystemKind::LazyHtm, 2);
+        let mut cm = make_cm(CmPolicy::Immediate, &cfg);
+        let shared = CmShared::new(2);
+        let mut rng = XorShift64::new(seed);
+        for &retries in &trace {
+            let act = cm.on_abort(&mut CmCtx {
+                tid: 0,
+                retries,
+                attempt_work: 7,
+                rng: &mut rng,
+                shared: &shared,
+            });
+            prop_assert_eq!(act.backoff_cycles, 0);
+        }
+        let mut fresh = XorShift64::new(seed);
+        prop_assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    /// `RandomizedLinear` replays the pre-refactor schedule exactly on
+    /// any recorded abort trace: same windows, same RNG draws in the
+    /// same order, hence the same delays and the same final RNG state.
+    #[test]
+    fn cm_linear_replays_pre_refactor_schedule(
+        seed in 1u64..u64::MAX,
+        after in 0u32..8,
+        base in 1u64..2_000,
+        trace in prop::collection::vec(1u32..5_000, 1..200),
+    ) {
+        // The pre-refactor engine, verbatim (txn.rs before tm::cm).
+        let mut old_rng = XorShift64::new(seed);
+        let old: Vec<u64> = trace
+            .iter()
+            .map(|&retries| {
+                if retries >= after {
+                    let window = base * (retries - after + 1) as u64 + 1;
+                    old_rng.below(window)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2)
+            .backoff(BackoffPolicy::RandomizedLinear { after, base });
+        let mut cm = make_cm(cfg.effective_cm(), &cfg);
+        let shared = CmShared::new(2);
+        let mut new_rng = XorShift64::new(seed);
+        let new: Vec<u64> = trace
+            .iter()
+            .map(|&retries| {
+                cm.on_abort(&mut CmCtx {
+                    tid: 0,
+                    retries,
+                    attempt_work: 7,
+                    rng: &mut new_rng,
+                    shared: &shared,
+                })
+                .backoff_cycles
+            })
+            .collect();
+        prop_assert_eq!(&old, &new);
+        prop_assert_eq!(old_rng.next_u64(), new_rng.next_u64());
+    }
+
+    /// Same replay equivalence for `ExponentialRandom` (the remaining
+    /// legacy `BackoffPolicy`).
+    #[test]
+    fn cm_exponential_replays_pre_refactor_schedule(
+        seed in 1u64..u64::MAX,
+        after in 0u32..8,
+        base in 1u64..2_000,
+        max_exp in 0u32..16,
+        trace in prop::collection::vec(1u32..5_000, 1..200),
+    ) {
+        let mut old_rng = XorShift64::new(seed);
+        let old: Vec<u64> = trace
+            .iter()
+            .map(|&retries| {
+                if retries >= after {
+                    let exp = (retries - after).min(max_exp);
+                    let window = base.saturating_mul(1u64 << exp.min(40)) + 1;
+                    old_rng.below(window)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2).backoff(
+            BackoffPolicy::ExponentialRandom { after, base, max_exp },
+        );
+        let mut cm = make_cm(cfg.effective_cm(), &cfg);
+        let shared = CmShared::new(2);
+        let mut new_rng = XorShift64::new(seed);
+        let new: Vec<u64> = trace
+            .iter()
+            .map(|&retries| {
+                cm.on_abort(&mut CmCtx {
+                    tid: 0,
+                    retries,
+                    attempt_work: 7,
+                    rng: &mut new_rng,
+                    shared: &shared,
+                })
+                .backoff_cycles
+            })
+            .collect();
+        prop_assert_eq!(&old, &new);
+        prop_assert_eq!(old_rng.next_u64(), new_rng.next_u64());
     }
 
     /// Word/line address arithmetic: offset distributes over lines.

@@ -16,4 +16,7 @@ cargo test -q --workspace
 echo "==> stamp_lint"
 cargo run -q -p bench --bin stamp_lint
 
+echo "==> ablation_cm --smoke"
+cargo run -q --release -p bench --bin ablation_cm -- --smoke
+
 echo "check.sh: all gates passed"

@@ -29,5 +29,7 @@ run ablation_earlyrelease.txt  --bin ablation_earlyrelease
 run ablation_sigsize.txt       --bin ablation_sigsize -- --scale 4
 run ablation_stall.txt         --bin ablation_stall -- --scale 2
 run ablation_bayes_backend.txt --bin ablation_bayes_backend
+run ablation_cm.txt            --bin ablation_cm -- --scale 2 \
+                               --json results/BENCH_ablation_cm.json
 
 echo "all results regenerated (scale $SCALE)"

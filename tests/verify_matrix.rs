@@ -44,6 +44,36 @@ fn all_variants_all_systems_are_serializable() {
     }
 }
 
+/// The non-default contention managers must preserve serializability
+/// under real contention: a high-contention workload (vacation-high,
+/// lightly scaled so transactions actually collide at 8 threads) runs
+/// on the conflict-arbitrating `karma` and the queue-serializing
+/// `adaptive` policies across the systems that exercise their distinct
+/// code paths (eager HTM encounter-time arbitration, lazy STM
+/// commit-time validation, lazy hybrid's commit-token interplay), with
+/// the sanitizer recording every transaction.
+#[test]
+fn high_contention_cm_policies_are_serializable() {
+    use stamp::tm::CmPolicy;
+    let v = stamp::util::variant("vacation-high").expect("known variant");
+    for policy in [CmPolicy::DEFAULT_KARMA, CmPolicy::DEFAULT_ADAPTIVE] {
+        for sys in [
+            SystemKind::EagerHtm,
+            SystemKind::LazyStm,
+            SystemKind::LazyHybrid,
+        ] {
+            let cfg = TmConfig::new(sys, 8).verify(true).cm(policy);
+            let rep = run(&v.scaled(16), cfg);
+            let verify = rep.run.verify.as_ref().expect("verify enabled");
+            assert!(
+                verify.is_clean(),
+                "vacation-high under {sys} with {policy} is not serializable:\n{verify}"
+            );
+            assert!(rep.verified, "vacation-high under {sys} with {policy}");
+        }
+    }
+}
+
 /// Disabling TL2 commit-time validation must produce a serialization
 /// cycle on a small vacation workload — the sanitizer's teeth, on a
 /// real application rather than a synthetic counter.
