@@ -13,12 +13,14 @@
 //! Flags: `--scale N`, `--variants a,b,...`, `--threadlist 1,2,...`,
 //! `--system <label>` (force one system, e.g. `--system "Lazy STM"`),
 //! `--smoke` (CI-sized: scale ≥ 64, threads {2,8}), `--json <path>`
-//! (emit one JSON row per run, e.g. `results/BENCH_ablation_cm.json`).
+//! (emit one JSON row per run, e.g. `results/BENCH_ablation_cm.json`),
+//! `--sched-seed S` (scheduler replay seed; pinned to the default so
+//! two runs of this ablation are byte-identical).
 
 use bench::json::JsonSink;
 use bench::{harness_flags, run_variant, selected_variants};
 use stamp_util::Args;
-use tm::{CmPolicy, SystemKind, TmConfig};
+use tm::{CmPolicy, SchedMode, SystemKind, TmConfig, DEFAULT_SCHED_SEED};
 
 /// The system on which contention management matters most for each
 /// default variant (see module docs).
@@ -60,6 +62,7 @@ fn main() {
     let scale = if smoke { scale.max(64) } else { scale };
     let threads: Vec<usize> = if smoke { vec![2, 8] } else { threads };
     let forced = args.get("system").map(parse_system);
+    let sched_seed = args.get_u64("sched-seed", DEFAULT_SCHED_SEED);
     let json_path = args.get("json").map(std::path::PathBuf::from);
     let mut sink = JsonSink::new();
     let variants = selected_variants(&filter.or(Some(vec![
@@ -87,7 +90,11 @@ fn main() {
         let sys = forced.unwrap_or_else(|| pathology_system(v.name));
         for policy in CmPolicy::ALL {
             for &t in &threads {
-                let rep = run_variant(v, scale, TmConfig::new(sys, t).cm(policy));
+                let cfg = TmConfig::new(sys, t)
+                    .cm(policy)
+                    .sched(SchedMode::MinClock)
+                    .sched_seed(sched_seed);
+                let rep = run_variant(v, scale, cfg);
                 let s = &rep.run.stats;
                 println!(
                     "{:<14} {:<12} {:<12} {:>3} {:>14} {:>9.2} {:>12} {:>8} {:>7} {:>7} | {}",

@@ -19,6 +19,7 @@
 //! | `ablation_stall` | eager-HTM requester-aborts vs LogTM-style stalls |
 //! | `ablation_bayes_backend` | bayes ADtree vs record-scan sufficient statistics |
 //! | `ablation_cm` | §V-A contention management: the five `tm::cm` policies on the high-contention variants |
+//! | `schedfuzz` | deterministic-schedule explorer: seed sweeps + PCT adversarial interleavings under the sanitizer, and the `results/golden/` cycle-count regression files |
 //!
 //! `scripts/reproduce.sh` runs all of them and refreshes `results/`.
 //!
@@ -28,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod golden;
 pub mod json;
 pub mod lint;
 

@@ -1,7 +1,7 @@
 //! Helpers shared by the application binaries: building a [`TmConfig`]
 //! from command-line flags.
 
-use tm::{Granularity, SystemKind, TmConfig};
+use tm::{Granularity, SchedMode, SystemKind, TmConfig};
 
 use crate::cli::Args;
 
@@ -13,7 +13,9 @@ use crate::cli::Args;
 /// * `--threads <n>` / `-t <n>` is *not* used (apps use `-t` for their
 ///   own flags); thread count comes from `--threads` only;
 /// * `--quantum <cycles>`, `--seed <s>`, `--cache-sim`,
-///   `--granularity word|line`.
+///   `--granularity word|line`;
+/// * `--sched minclock|pct` and `--sched-seed <s>` — deterministic
+///   scheduler dispatch mode and replay seed (see `tm::sched`).
 pub fn tm_config_from_args(args: &Args) -> TmConfig {
     let system = args
         .get("system")
@@ -27,7 +29,14 @@ pub fn tm_config_from_args(args: &Args) -> TmConfig {
     };
     let quantum = args.get_u64("quantum", cfg.quantum);
     let seed = args.get_u64("seed", cfg.seed);
-    cfg = cfg.quantum(quantum).seed(seed);
+    let sched_seed = args.get_u64("sched-seed", cfg.sched_seed);
+    cfg = cfg.quantum(quantum).seed(seed).sched_seed(sched_seed);
+    if let Some(mode) = args.get("sched") {
+        cfg = cfg.sched(
+            SchedMode::parse(mode)
+                .unwrap_or_else(|| panic!("unknown sched mode {mode:?} (minclock|pct)")),
+        );
+    }
     if args.get_bool("cache-sim") {
         cfg = cfg.cache_sim(true);
     }
@@ -57,13 +66,16 @@ mod tests {
     #[test]
     fn full_flags() {
         let cfg = tm_config_from_args(&parse(
-            "--system eager-htm --threads 8 --quantum 100 --cache-sim --granularity line",
+            "--system eager-htm --threads 8 --quantum 100 --cache-sim --granularity line \
+             --sched pct --sched-seed 99",
         ));
         assert_eq!(cfg.system, SystemKind::EagerHtm);
         assert_eq!(cfg.threads, 8);
         assert_eq!(cfg.quantum, 100);
         assert!(cfg.cache_sim);
         assert_eq!(cfg.stm_granularity, Granularity::Line);
+        assert_eq!(cfg.sched_seed, 99);
+        assert!(matches!(cfg.sched, SchedMode::Pct { .. }));
     }
 
     #[test]

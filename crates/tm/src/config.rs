@@ -2,6 +2,7 @@
 //! processors, and the machine cost model of Table V.
 
 use crate::cm::CmPolicy;
+use crate::sched::{SchedMode, DEFAULT_SCHED_SEED};
 
 /// The six TM system designs evaluated in the STAMP paper (§IV), plus a
 /// sequential baseline used for speedup normalization.
@@ -389,6 +390,16 @@ pub struct TmConfig {
     pub htm_conflict: HtmConflictPolicy,
     /// Seed for the per-thread backoff RNGs.
     pub seed: u64,
+    /// Deterministic-scheduler dispatch mode (see [`crate::sched`]).
+    /// Also settable with `TM_SCHED=minclock|pct` (and `TM_SCHED_GAP`
+    /// for the PCT change-point gap).
+    pub sched: SchedMode,
+    /// Seed for the deterministic scheduler's dispatch tie-breaking and
+    /// PCT change points. Also settable with `TM_SCHED_SEED` (decimal
+    /// or `0x`-prefixed hex). Together with [`TmConfig::seed`] this
+    /// pins the entire multi-thread run: identical configurations
+    /// replay bit-identically on any host.
+    pub sched_seed: u64,
     /// Run under the [`crate::verify`] serializability sanitizer. Also
     /// enabled by `TM_VERIFY=1` in the environment. The sanitizer
     /// charges zero simulated cycles, so `sim_cycles` outputs are
@@ -415,6 +426,14 @@ pub enum MutationHook {
     /// Corrupt the signature insert path (wrong bits set) so the
     /// hybrids' commit-time signature scans miss real conflicts.
     CorruptSignatureHash,
+}
+
+/// Parse a seed value in decimal or `0x`-prefixed hex.
+fn parse_seed(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
 }
 
 impl TmConfig {
@@ -450,6 +469,12 @@ impl TmConfig {
             htm_priority_after: 32,
             htm_conflict: HtmConflictPolicy::default(),
             seed: 0x5eed_cafe,
+            sched: SchedMode::from_env(),
+            sched_seed: match std::env::var("TM_SCHED_SEED") {
+                Ok(v) if !v.is_empty() => parse_seed(&v)
+                    .unwrap_or_else(|| panic!("TM_SCHED_SEED={v:?} is not an unsigned integer")),
+                _ => DEFAULT_SCHED_SEED,
+            },
             verify: std::env::var("TM_VERIFY")
                 .map(|v| !v.is_empty() && v != "0")
                 .unwrap_or(false),
@@ -471,6 +496,20 @@ impl TmConfig {
     /// Set the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the deterministic-scheduler seed (dispatch tie-breaking and
+    /// PCT change points; takes precedence over `TM_SCHED_SEED`).
+    pub fn sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = seed;
+        self
+    }
+
+    /// Set the deterministic-scheduler dispatch mode (takes precedence
+    /// over `TM_SCHED`).
+    pub fn sched(mut self, mode: SchedMode) -> Self {
+        self.sched = mode;
         self
     }
 

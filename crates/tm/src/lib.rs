@@ -58,6 +58,7 @@ pub mod fxhash;
 pub mod heap;
 pub mod locks;
 pub mod runtime;
+pub mod sched;
 pub mod signature;
 pub mod sim;
 pub mod stats;
@@ -73,6 +74,7 @@ pub use config::{
 };
 pub use heap::{TArray, TCell, TmHeap, TmValue};
 pub use runtime::{RunReport, ThreadCtx, TmRuntime};
+pub use sched::{SchedMode, Scheduler, DEFAULT_PCT_GAP, DEFAULT_SCHED_SEED};
 pub use sim::{SimBarrier, XorShift64};
 pub use stats::{RunStats, TxnRecord, VerifyCost};
 pub use trace::TraceLevel;

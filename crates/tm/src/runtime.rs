@@ -18,8 +18,9 @@ use crate::directory::Directory;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::heap::{TCell, TmHeap, TmValue};
 use crate::locks::{GlobalClock, LockTable};
+use crate::sched::Scheduler;
 use crate::signature::Signature;
-use crate::sim::{Scheduler, SimBarrier, SimMutex, XorShift64, FLUSH_CYCLES};
+use crate::sim::{SimBarrier, SimMutex, XorShift64, FLUSH_CYCLES};
 use crate::stats::{RunStats, ThreadStats};
 use crate::txn::TxnState;
 use crate::verify::{self, VerifyReport, VerifyState, VerifyTxn};
@@ -89,7 +90,13 @@ impl Global {
             txn_ts: (0..n)
                 .map(|_| CachePadded::new(std::sync::atomic::AtomicU64::new(u64::MAX)))
                 .collect(),
-            scheduler: Scheduler::new(n, config.quantum, config.simulate),
+            scheduler: Scheduler::new(
+                n,
+                config.quantum,
+                config.simulate,
+                config.sched,
+                config.sched_seed,
+            ),
             cm_shared: CmShared::new(n),
             verify: config.verify.then(VerifyState::default),
             heap,
@@ -175,7 +182,7 @@ impl TmRuntime {
         // independent across phases while reusing heap contents.
         let global = Arc::new(Global::new(self.config.clone(), self.heap.clone()));
         let n = self.config.threads;
-        let collected: Mutex<Vec<ThreadStats>> = Mutex::new(Vec::with_capacity(n));
+        let collected: Mutex<Vec<(usize, ThreadStats)>> = Mutex::new(Vec::with_capacity(n));
         let start = Instant::now();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -185,6 +192,11 @@ impl TmRuntime {
                 let collected = &collected;
                 handles.push(scope.spawn(move || {
                     let mut ctx = ThreadCtx::new(tid, global);
+                    // Deterministic dispatch gate: only the turn holder
+                    // may touch shared state, and that includes the
+                    // body's very first accesses — OS thread spawn
+                    // order must not matter.
+                    ctx.global.scheduler.wait_turn(tid);
                     // Catch body panics so the scheduler releases the
                     // other logical threads instead of deadlocking the
                     // scope; the panic is re-raised after cleanup.
@@ -200,7 +212,7 @@ impl TmRuntime {
                         ctx.stats.mem_accesses = accesses;
                         ctx.stats.mem_misses = misses;
                     }
-                    collected.lock().push(ctx.stats);
+                    collected.lock().push((tid, ctx.stats));
                 }));
             }
             for h in handles {
@@ -215,10 +227,13 @@ impl TmRuntime {
             .verify
             .as_ref()
             .map(|vs| verify::finalize(vs, self.config.system));
-        let threads_stats = collected.into_inner();
+        // Merge in tid order: threads finish (and push) in host order,
+        // but aggregation must not depend on it.
+        let mut threads_stats = collected.into_inner();
+        threads_stats.sort_by_key(|(tid, _)| *tid);
         let mut stats = RunStats::default();
         let mut sim_cycles = 0;
-        for t in &threads_stats {
+        for (_, t) in &threads_stats {
             stats.absorb(t);
             sim_cycles = sim_cycles.max(t.total_cycles);
         }
@@ -334,6 +349,17 @@ impl ThreadCtx {
     #[inline]
     pub(crate) fn charge_tm(&mut self, cycles: u64) {
         self.advance(cycles);
+    }
+
+    /// Charge `cycles` for one failed probe of a spin loop and publish
+    /// immediately. Under strict turn-based dispatch the probed
+    /// condition can only change once another thread runs, so batching
+    /// probe cycles locally (as `charge_tm` does) would just burn host
+    /// time re-probing before the inevitable handoff.
+    #[inline]
+    pub(crate) fn spin_charge(&mut self, cycles: u64) {
+        self.charge_tm(cycles);
+        self.flush();
     }
 
     #[inline]
@@ -553,12 +579,21 @@ impl ThreadCtx {
 
     /// Wait at a phase barrier; simulated clocks are synchronized to the
     /// latest arrival.
+    ///
+    /// The *releaser* (last arrival) re-admits every participant to the
+    /// scheduler in one deterministic step before any of them can race
+    /// back from the barrier, and each participant then waits for its
+    /// turn — so the post-barrier execution order is a pure function of
+    /// the synchronized clocks and the seeded tie-break.
     pub fn barrier(&mut self, barrier: &SimBarrier) {
         assert!(!self.in_txn, "barrier inside a transaction");
         self.flush();
         self.global.scheduler.park(self.tid);
-        let release = barrier.wait(self.clock);
-        self.global.scheduler.unpark(self.tid, release);
+        let (release, releaser) = barrier.wait_role(self.clock);
+        if releaser {
+            self.global.scheduler.unpark_all(release);
+        }
+        self.global.scheduler.wait_turn(self.tid);
         self.clock = self.clock.max(release);
         self.pending = 0;
     }

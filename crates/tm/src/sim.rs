@@ -3,12 +3,12 @@
 //! The STAMP paper evaluates every TM system on an execution-driven
 //! simulator (Table V) and reports *simulated cycles*, not hardware wall
 //! clock. This module provides the equivalent substrate: application
-//! threads run as real OS threads, but a [`Scheduler`] only lets a thread
-//! proceed while its simulated clock is within one quantum of the slowest
-//! runnable thread. Every TM barrier, memory access, and unit of
-//! application work advances the local clock, so contention, aborts, and
-//! serialization emerge from real interleavings of the *logical*
-//! processors — independent of how many host cores exist.
+//! threads run as real OS threads whose interleaving is dictated by the
+//! deterministic turn-based [`crate::sched::Scheduler`]. Every TM
+//! barrier, memory access, and unit of application work advances the
+//! local clock, so contention, aborts, and serialization emerge from
+//! reproducible interleavings of the *logical* processors — independent
+//! of how many host cores exist.
 //!
 //! Synchronization primitives that must not stall simulated time
 //! ([`SimMutex`]) spin in simulated time; the phase barrier
@@ -21,141 +21,6 @@ use parking_lot::{Condvar, Mutex};
 /// This bounds scheduler overhead; the effective quantum is
 /// `quantum + FLUSH_CYCLES`.
 pub(crate) const FLUSH_CYCLES: u64 = 64;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ThreadStatus {
-    Running,
-    /// Parked at a barrier (or otherwise descheduled); excluded from the
-    /// minimum-clock computation so the remaining threads can proceed.
-    Parked,
-    Done,
-}
-
-struct SchedState {
-    clocks: Vec<u64>,
-    status: Vec<ThreadStatus>,
-}
-
-impl SchedState {
-    /// Minimum clock over running threads, or `None` if none are running.
-    fn min_running(&self) -> Option<u64> {
-        self.clocks
-            .iter()
-            .zip(&self.status)
-            .filter(|(_, s)| **s == ThreadStatus::Running)
-            .map(|(c, _)| *c)
-            .min()
-    }
-}
-
-/// The time-ordered scheduler: logical threads may only run while within
-/// `quantum` cycles of the slowest runnable logical thread.
-pub struct Scheduler {
-    enabled: bool,
-    quantum: u64,
-    state: Mutex<SchedState>,
-    cv: Condvar,
-}
-
-impl Scheduler {
-    /// Create a scheduler for `threads` logical processors.
-    pub fn new(threads: usize, quantum: u64, enabled: bool) -> Self {
-        Scheduler {
-            enabled,
-            quantum,
-            state: Mutex::new(SchedState {
-                clocks: vec![0; threads],
-                status: vec![ThreadStatus::Running; threads],
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Whether time-ordered scheduling is active.
-    pub fn enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Publish `cycles` of progress for `tid` and block while it is more
-    /// than a quantum ahead of the slowest runnable thread.
-    ///
-    /// Must not be called while holding any other lock.
-    pub fn advance(&self, tid: usize, cycles: u64) {
-        if !self.enabled {
-            return;
-        }
-        let mut s = self.state.lock();
-        s.clocks[tid] += cycles;
-        debug_assert_eq!(s.status[tid], ThreadStatus::Running);
-        // Our clock moved; threads waiting on the minimum may now be
-        // eligible. Notify *before* potentially sleeping ourselves, or a
-        // thread that leaps far ahead in one call would strand the
-        // waiters it just unblocked (lost wakeup).
-        self.cv.notify_all();
-        loop {
-            let min = s.min_running().expect("caller is running");
-            if s.clocks[tid] <= min + self.quantum {
-                break;
-            }
-            self.cv.wait(&mut s);
-        }
-    }
-
-    /// Mark `tid` as parked (e.g. at a phase barrier): it no longer holds
-    /// back other threads.
-    pub fn park(&self, tid: usize) {
-        if !self.enabled {
-            return;
-        }
-        let mut s = self.state.lock();
-        s.status[tid] = ThreadStatus::Parked;
-        drop(s);
-        self.cv.notify_all();
-    }
-
-    /// Resume `tid` with its clock set to `clock` (a barrier release sets
-    /// all participants to the barrier's maximum arrival time).
-    pub fn unpark(&self, tid: usize, clock: u64) {
-        if !self.enabled {
-            return;
-        }
-        let mut s = self.state.lock();
-        s.status[tid] = ThreadStatus::Running;
-        s.clocks[tid] = s.clocks[tid].max(clock);
-        drop(s);
-        self.cv.notify_all();
-    }
-
-    /// Mark `tid` as finished.
-    pub fn done(&self, tid: usize) {
-        if !self.enabled {
-            return;
-        }
-        let mut s = self.state.lock();
-        s.status[tid] = ThreadStatus::Done;
-        drop(s);
-        self.cv.notify_all();
-    }
-
-    /// The published clock of `tid` (excludes unflushed local cycles).
-    pub fn clock(&self, tid: usize) -> u64 {
-        self.state.lock().clocks[tid]
-    }
-
-    /// Maximum published clock over all threads: the simulated makespan.
-    pub fn max_clock(&self) -> u64 {
-        self.state.lock().clocks.iter().copied().max().unwrap_or(0)
-    }
-}
-
-impl std::fmt::Debug for Scheduler {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scheduler")
-            .field("enabled", &self.enabled)
-            .field("quantum", &self.quantum)
-            .finish()
-    }
-}
 
 /// A mutex that spins in *simulated* time.
 ///
@@ -290,6 +155,15 @@ impl SimBarrier {
     /// The caller must have parked itself in the scheduler first (handled
     /// by `ThreadCtx::barrier`).
     pub fn wait(&self, clock: u64) -> u64 {
+        self.wait_role(clock).0
+    }
+
+    /// Like [`SimBarrier::wait`], but also reports whether the caller
+    /// was the *releaser* (the last arrival). The releaser is the one
+    /// thread that must re-admit all participants to the scheduler in a
+    /// single deterministic step ([`crate::sched::Scheduler::unpark_all`])
+    /// before the others race back from the barrier.
+    pub fn wait_role(&self, clock: u64) -> (u64, bool) {
         let mut s = self.state.lock();
         s.max_clock = s.max_clock.max(clock);
         s.arrived += 1;
@@ -301,13 +175,13 @@ impl SimBarrier {
             let release = s.release_clock;
             drop(s);
             self.cv.notify_all();
-            release
+            (release, true)
         } else {
             let gen = s.generation;
             while s.generation == gen {
                 self.cv.wait(&mut s);
             }
-            s.release_clock
+            (s.release_clock, false)
         }
     }
 
@@ -362,56 +236,6 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-
-    #[test]
-    fn scheduler_bounds_skew() {
-        let sched = Arc::new(Scheduler::new(2, 100, true));
-        let max_seen = Arc::new(AtomicU64::new(0));
-        let s1 = sched.clone();
-        let m1 = max_seen.clone();
-        let fast = std::thread::spawn(move || {
-            for _ in 0..1000 {
-                s1.advance(0, 10);
-                let skew = s1.clock(0).saturating_sub(s1.clock(1));
-                m1.fetch_max(skew, Ordering::Relaxed);
-            }
-            s1.done(0);
-        });
-        let s2 = sched.clone();
-        let slow = std::thread::spawn(move || {
-            for _ in 0..1000 {
-                s2.advance(1, 10);
-                std::hint::spin_loop();
-            }
-            s2.done(1);
-        });
-        fast.join().unwrap();
-        slow.join().unwrap();
-        // The fast thread can never be more than quantum + one advance
-        // ahead while the slow thread is still running.
-        assert!(max_seen.load(Ordering::Relaxed) <= 100 + 10);
-        assert_eq!(sched.max_clock(), 10_000);
-    }
-
-    #[test]
-    fn scheduler_disabled_is_noop() {
-        let sched = Scheduler::new(2, 100, false);
-        sched.advance(0, 1_000_000);
-        assert_eq!(sched.clock(0), 0); // disabled: nothing recorded
-    }
-
-    #[test]
-    fn parked_thread_does_not_block_others() {
-        let sched = Arc::new(Scheduler::new(2, 50, true));
-        sched.park(1);
-        // Thread 0 can run arbitrarily far ahead of the parked thread 1.
-        sched.advance(0, 10_000);
-        assert_eq!(sched.clock(0), 10_000);
-        sched.unpark(1, 10_000);
-        assert_eq!(sched.clock(1), 10_000);
-        sched.done(0);
-        sched.done(1);
-    }
 
     #[test]
     fn sim_mutex_mutual_exclusion() {

@@ -167,6 +167,23 @@ impl ThreadCtx {
 
     fn begin_attempt(&mut self, retries: u32) {
         use std::sync::atomic::Ordering;
+        // Eager-HTM livelock guard, second half: while another thread
+        // holds the priority token, starting an attempt is futile (the
+        // holder dooms us on first contact) and actively harmful under
+        // deterministic dispatch — restarting victims re-register their
+        // lines between the holder's occupancy probes, which can
+        // phase-lock into a schedule where the holder never observes
+        // its conflict set drain. Wait (in simulated cycles) for the
+        // holder to commit; free-running schedules broke the cycle by
+        // chance, the strict scheduler must break it by rule.
+        if self.global.config.system == SystemKind::EagerHtm && !self.has_priority {
+            while {
+                let p = self.global.priority.load(Ordering::SeqCst);
+                p != NO_PRIORITY && p != self.tid
+            } {
+                self.spin_charge(20);
+            }
+        }
         self.in_txn = true;
         self.stats.attempts += 1;
         self.txn.reset();
@@ -184,7 +201,7 @@ impl ThreadCtx {
             // Coarse-grain lock: serialize the whole transaction.
             let mut spins = 0u32;
             while !self.global.commit_token.try_acquire() {
-                self.charge_tm(10);
+                self.spin_charge(10);
                 spins += 1;
                 if spins.is_multiple_of(64) {
                     std::thread::yield_now();
@@ -235,7 +252,7 @@ impl ThreadCtx {
         // like the GlobalLock spin), never host wall-clock sleeps.
         let global = self.global.clone();
         global.commit_token.acquire_until(|| {
-            self.charge_tm(10);
+            self.spin_charge(10);
             true
         });
         self.txn.cm_serialized_attempt = true;
@@ -733,7 +750,7 @@ impl Txn<'_> {
             if self.is_doomed() {
                 return Err(Abort(()));
             }
-            self.ctx.charge_tm(10);
+            self.ctx.spin_charge(10);
             spins += 1;
             if spins.is_multiple_of(64) {
                 std::thread::yield_now();
@@ -756,7 +773,7 @@ impl Txn<'_> {
             if self.is_doomed() {
                 return Err(Abort(()));
             }
-            self.ctx.charge_tm(5);
+            self.ctx.spin_charge(5);
             spins += 1;
             if spins.is_multiple_of(64) {
                 std::thread::yield_now();
@@ -878,7 +895,7 @@ impl Txn<'_> {
             } else if self.is_doomed() {
                 return Err(Abort(()));
             }
-            self.ctx.charge_tm(20);
+            self.ctx.spin_charge(20);
             spins += 1;
             if spins > limit {
                 // Timeout: give up (stall) / safety valve (priority).
@@ -919,7 +936,7 @@ impl Txn<'_> {
                     && self.ctx.global.overflow_sigs[t].maybe_contains(line)
                 {
                     self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
-                    self.ctx.charge_tm(20);
+                    self.ctx.spin_charge(20);
                     spins += 1;
                     if spins > 100_000 {
                         return Err(Abort(()));

@@ -317,6 +317,92 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case spawns real threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Deterministic replay as a property: for any workload shape,
+    /// system, data seed and scheduler seed, two runs of the same
+    /// configuration agree on every statistic bit for bit.
+    #[test]
+    fn equal_sched_seeds_give_equal_stats(
+        sys_idx in 0usize..6,
+        threads in 2usize..5,
+        iters in 10u64..80,
+        seed in 1u64..u64::MAX,
+        sched_seed in 0u64..u64::MAX,
+    ) {
+        use tm::{SchedMode, TmRuntime};
+        let sys = SystemKind::ALL_TM[sys_idx];
+        let run_once = || {
+            let cfg = TmConfig::new(sys, threads)
+                .seed(seed)
+                .sched(SchedMode::MinClock)
+                .sched_seed(sched_seed);
+            let rt = TmRuntime::new(cfg);
+            let cell = rt.heap().alloc_cell(0u64);
+            let rep = rt.run(|ctx| {
+                for _ in 0..iters {
+                    ctx.atomic(|txn| {
+                        let v = txn.read(&cell)?;
+                        txn.write(&cell, v + 1)
+                    });
+                }
+            });
+            let s = &rep.stats;
+            (
+                rep.sim_cycles,
+                s.commits,
+                s.aborts,
+                s.attempts,
+                s.backoff_cycles,
+                s.serialized_commits,
+                s.priority_wins,
+                s.priority_losses,
+                rt.heap().load_cell(&cell),
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        prop_assert!(a == b, "same-seed replay diverged on {}: {:?} vs {:?}", sys, a, b);
+    }
+
+    /// Different scheduler seeds explore different interleavings but
+    /// every schedule stays correct: the counter is exact and the
+    /// sanitizer finds each run serializable.
+    #[test]
+    fn different_sched_seeds_stay_sanitizer_clean(
+        sys_idx in 0usize..6,
+        threads in 2usize..5,
+        iters in 10u64..60,
+        sched_seed in 0u64..u64::MAX,
+    ) {
+        use tm::{SchedMode, TmRuntime};
+        let sys = SystemKind::ALL_TM[sys_idx];
+        let cfg = TmConfig::new(sys, threads)
+            .verify(true)
+            .sched(SchedMode::MinClock)
+            .sched_seed(sched_seed);
+        let rt = TmRuntime::new(cfg);
+        let cell = rt.heap().alloc_cell(0u64);
+        let rep = rt.run(|ctx| {
+            for _ in 0..iters {
+                ctx.atomic(|txn| {
+                    let v = txn.read(&cell)?;
+                    txn.write(&cell, v + 1)
+                });
+            }
+        });
+        prop_assert_eq!(rt.heap().load_cell(&cell), threads as u64 * iters);
+        let verify = rep.verify.as_ref().expect("verify enabled");
+        prop_assert!(
+            verify.is_clean(),
+            "sched_seed={} on {} is not serializable:\n{}",
+            sched_seed, sys, verify
+        );
+    }
+}
+
 /// Transactional increments with random per-case thread/iteration
 /// shapes: the counter is always exact (atomicity under arbitrary
 /// schedules).

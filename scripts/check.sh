@@ -19,4 +19,7 @@ cargo run -q -p bench --bin stamp_lint
 echo "==> ablation_cm --smoke"
 cargo run -q --release -p bench --bin ablation_cm -- --smoke
 
+echo "==> schedfuzz --smoke"
+TM_VERIFY=1 cargo run -q --release -p bench --bin schedfuzz -- --smoke
+
 echo "check.sh: all gates passed"

@@ -32,4 +32,10 @@ run ablation_bayes_backend.txt --bin ablation_bayes_backend
 run ablation_cm.txt            --bin ablation_cm -- --scale 2 \
                                --json results/BENCH_ablation_cm.json
 
+# Golden cycle-count regression files (results/golden/*.json): always
+# scale 64 with the default scheduler seed, regardless of $SCALE, so
+# `cargo test --release --test golden -- --ignored` can diff them.
+echo ">>> schedfuzz --golden -> results/golden/"
+cargo run --release -p bench --bin schedfuzz -- --golden
+
 echo "all results regenerated (scale $SCALE)"
