@@ -9,7 +9,7 @@
 //! | `table1` | Table I (benchmark-suite survey) |
 //! | `table2` | Table II (application inventory) |
 //! | `table3` | Table III (qualitative characteristics, derived from measurement) |
-//! | `table4` | Table IV (the 30 recommended configurations) |
+//! | `table4` | Table IV (per-app characterization + `tm::prof` cycle breakdown; `--list` prints the 30 recommended configurations; `--check` byte-verifies `results/table4.json`) |
 //! | `table6` | Table VI (transactional characterization; `--working-sets` adds the cache sweep) |
 //! | `figure1` | Figure 1 (speedups, 20 variants × 6 systems × 1–16 cores; `--plot` for ASCII charts, `--with-lock` for the lock baseline) |
 //! | `ablation_backoff` | §V-B3 (contention management) |
@@ -32,6 +32,7 @@
 pub mod golden;
 pub mod json;
 pub mod lint;
+pub mod table4;
 
 use stamp_util::{AppParams, AppReport, Variant};
 use tm::{SystemKind, TmConfig};

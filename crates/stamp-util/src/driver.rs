@@ -15,7 +15,11 @@ use crate::cli::Args;
 /// * `--quantum <cycles>`, `--seed <s>`, `--cache-sim`,
 ///   `--granularity word|line`;
 /// * `--sched minclock|pct` and `--sched-seed <s>` — deterministic
-///   scheduler dispatch mode and replay seed (see `tm::sched`).
+///   scheduler dispatch mode and replay seed (see `tm::sched`);
+/// * `--verify` — run under the `tm::verify` sanitizer;
+/// * `--prof` — run under the `tm::prof` cycle-accounting profiler
+///   (both are zero-simulated-cost observers); the CLI summary then
+///   appends the cycle breakdown and hottest conflict lines.
 pub fn tm_config_from_args(args: &Args) -> TmConfig {
     let system = args
         .get("system")
@@ -39,6 +43,12 @@ pub fn tm_config_from_args(args: &Args) -> TmConfig {
     }
     if args.get_bool("cache-sim") {
         cfg = cfg.cache_sim(true);
+    }
+    if args.get_bool("verify") {
+        cfg = cfg.verify(true);
+    }
+    if args.get_bool("prof") {
+        cfg = cfg.prof(true);
     }
     match args.get("granularity") {
         Some("line") => cfg = cfg.stm_granularity(Granularity::Line),
@@ -76,6 +86,15 @@ mod tests {
         assert_eq!(cfg.stm_granularity, Granularity::Line);
         assert_eq!(cfg.sched_seed, 99);
         assert!(matches!(cfg.sched, SchedMode::Pct { .. }));
+    }
+
+    #[test]
+    fn observer_flags() {
+        let cfg = tm_config_from_args(&parse("--verify --prof"));
+        assert!(cfg.verify);
+        assert!(cfg.prof);
+        let cfg = tm_config_from_args(&parse(""));
+        assert!(!cfg.prof);
     }
 
     #[test]

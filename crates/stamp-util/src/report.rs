@@ -50,8 +50,14 @@ impl AppReport {
 }
 
 impl std::fmt::Display for AppReport {
+    /// The summary line; runs under `tm::prof` (`--prof` / `TM_PROF=1`)
+    /// append the profiler's cycle breakdown and hottest conflict lines.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.summary())
+        f.write_str(&self.summary())?;
+        if let Some(prof) = &self.run.prof {
+            write!(f, "\n{}", prof.summary(3).trim_end())?;
+        }
+        Ok(())
     }
 }
 
@@ -76,5 +82,26 @@ mod tests {
         assert!(s.contains("Lazy STM"));
         assert!(s.contains("OK"));
         assert_eq!(rep.system(), SystemKind::LazyStm);
+    }
+
+    #[test]
+    fn display_appends_prof_breakdown() {
+        let rt = TmRuntime::new(TmConfig::new(SystemKind::LazyStm, 2).prof(true));
+        let c = rt.heap().alloc_cell(0u64);
+        let run = rt.run(|ctx| {
+            ctx.atomic(|txn| {
+                let v = txn.read(&c)?;
+                txn.write(&c, v + 1)
+            });
+        });
+        let shown = AppReport::new("demo", "cfg".into(), run, true).to_string();
+        assert!(shown.contains("cycle breakdown:"));
+        assert!(shown.contains("useful="));
+        // Without the profiler, Display stays a single line.
+        let rt = TmRuntime::new(TmConfig::new(SystemKind::LazyStm, 2));
+        let run = rt.run(|_| {});
+        assert!(!AppReport::new("demo", "cfg".into(), run, true)
+            .to_string()
+            .contains('\n'));
     }
 }

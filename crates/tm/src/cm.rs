@@ -29,7 +29,8 @@
 //! `htm_priority_after` aborts.
 //!
 //! All waiting a contention manager induces is charged in *simulated*
-//! cycles (backoff via `charge_tm`, serialization via
+//! cycles (backoff via `charge_bucket` so [`crate::prof`] books it to
+//! its Backoff bucket, serialization via
 //! [`crate::sim::SimMutex::acquire_until`] with a costed spin tick) —
 //! never host wall-clock sleeps — so `sim_cycles` remain meaningful
 //! and deterministic.

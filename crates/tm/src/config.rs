@@ -405,6 +405,11 @@ pub struct TmConfig {
     /// charges zero simulated cycles, so `sim_cycles` outputs are
     /// bit-identical either way; only wall-clock time changes.
     pub verify: bool,
+    /// Run under the [`crate::prof`] cycle-accounting profiler. Also
+    /// enabled by `TM_PROF=1` in the environment. Like the sanitizer,
+    /// the profiler charges zero simulated cycles — `sim_cycles` and
+    /// all engine statistics are bit-identical either way.
+    pub prof: bool,
     /// Deliberate fault injection for mutation-testing the sanitizer.
     /// Leave at [`MutationHook::None`] for correct execution.
     pub mutation: MutationHook,
@@ -476,6 +481,9 @@ impl TmConfig {
                 _ => DEFAULT_SCHED_SEED,
             },
             verify: std::env::var("TM_VERIFY")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
+            prof: std::env::var("TM_PROF")
                 .map(|v| !v.is_empty() && v != "0")
                 .unwrap_or(false),
             mutation: MutationHook::None,
@@ -561,6 +569,13 @@ impl TmConfig {
     /// sanitizer for this run.
     pub fn verify(mut self, on: bool) -> Self {
         self.verify = on;
+        self
+    }
+
+    /// Enable or disable the [`crate::prof`] cycle-accounting profiler
+    /// for this run.
+    pub fn prof(mut self, on: bool) -> Self {
+        self.prof = on;
         self
     }
 

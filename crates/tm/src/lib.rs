@@ -57,6 +57,7 @@ pub mod directory;
 pub mod fxhash;
 pub mod heap;
 pub mod locks;
+pub mod prof;
 pub mod runtime;
 pub mod sched;
 pub mod signature;
@@ -73,6 +74,7 @@ pub use config::{
     SystemKind, TmConfig,
 };
 pub use heap::{TArray, TCell, TmHeap, TmValue};
+pub use prof::{ConflictPair, HotLine, ProfBucket, ProfReport, ProfThreadReport, PROF_BUCKETS};
 pub use runtime::{RunReport, ThreadCtx, TmRuntime};
 pub use sched::{SchedMode, Scheduler, DEFAULT_PCT_GAP, DEFAULT_SCHED_SEED};
 pub use sim::{SimBarrier, XorShift64};

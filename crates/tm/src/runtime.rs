@@ -18,6 +18,7 @@ use crate::directory::Directory;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::heap::{TCell, TmHeap, TmValue};
 use crate::locks::{GlobalClock, LockTable};
+use crate::prof::{ProfBucket, ProfReport, ProfShared, ProfThread, ProfThreadReport};
 use crate::sched::Scheduler;
 use crate::signature::Signature;
 use crate::sim::{SimBarrier, SimMutex, XorShift64, FLUSH_CYCLES};
@@ -61,6 +62,9 @@ pub(crate) struct Global {
     pub cm_shared: CmShared,
     /// The serializability sanitizer, when `config.verify` is set.
     pub verify: Option<VerifyState>,
+    /// The profiler's cross-thread conflict table, when `config.prof`
+    /// is set.
+    pub prof: Option<ProfShared>,
 }
 
 impl Global {
@@ -99,6 +103,7 @@ impl Global {
             ),
             cm_shared: CmShared::new(n),
             verify: config.verify.then(VerifyState::default),
+            prof: config.prof.then(ProfShared::default),
             heap,
             config,
         }
@@ -121,6 +126,9 @@ pub struct RunReport {
     /// Sanitizer report, present when the run had `TmConfig::verify`
     /// (or `TM_VERIFY=1`) enabled.
     pub verify: Option<VerifyReport>,
+    /// Profiler report, present when the run had `TmConfig::prof`
+    /// (or `TM_PROF=1`) enabled.
+    pub prof: Option<ProfReport>,
 }
 
 impl RunReport {
@@ -182,7 +190,8 @@ impl TmRuntime {
         // independent across phases while reusing heap contents.
         let global = Arc::new(Global::new(self.config.clone(), self.heap.clone()));
         let n = self.config.threads;
-        let collected: Mutex<Vec<(usize, ThreadStats)>> = Mutex::new(Vec::with_capacity(n));
+        type Collected = (usize, ThreadStats, Option<ProfThreadReport>);
+        let collected: Mutex<Vec<Collected>> = Mutex::new(Vec::with_capacity(n));
         let start = Instant::now();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -212,7 +221,8 @@ impl TmRuntime {
                         ctx.stats.mem_accesses = accesses;
                         ctx.stats.mem_misses = misses;
                     }
-                    collected.lock().push((tid, ctx.stats));
+                    let prof = ctx.prof.take().map(|p| p.into_report(tid, ctx.clock));
+                    collected.lock().push((tid, ctx.stats, prof));
                 }));
             }
             for h in handles {
@@ -230,13 +240,23 @@ impl TmRuntime {
         // Merge in tid order: threads finish (and push) in host order,
         // but aggregation must not depend on it.
         let mut threads_stats = collected.into_inner();
-        threads_stats.sort_by_key(|(tid, _)| *tid);
+        threads_stats.sort_by_key(|(tid, _, _)| *tid);
         let mut stats = RunStats::default();
         let mut sim_cycles = 0;
-        for (_, t) in &threads_stats {
+        let mut prof_threads = Vec::new();
+        for (_, t, p) in &threads_stats {
             stats.absorb(t);
             sim_cycles = sim_cycles.max(t.total_cycles);
+            if let Some(p) = p {
+                prof_threads.push(p.clone());
+            }
         }
+        // Like the sanitizer, profiler finalize runs outside the timed
+        // phase: draining the conflict table costs host time only.
+        let prof = global.prof.as_ref().map(|ps| ProfReport {
+            threads: prof_threads,
+            hot_lines: ps.drain_hot_lines(),
+        });
         RunReport {
             system: self.config.system,
             threads: n,
@@ -244,6 +264,7 @@ impl TmRuntime {
             wall,
             stats,
             verify,
+            prof,
         }
     }
 }
@@ -281,6 +302,10 @@ pub struct ThreadCtx {
     /// Per-attempt observation log for the `tm::verify` sanitizer
     /// (empty and untouched when verification is off).
     pub(crate) vtx: VerifyTxn,
+    /// Per-thread cycle-bucket accumulator for the `tm::prof` profiler
+    /// (`None` when profiling is off; boxed to keep the hot context
+    /// small).
+    pub(crate) prof: Option<Box<ProfThread>>,
 }
 
 impl ThreadCtx {
@@ -291,6 +316,7 @@ impl ThreadCtx {
             .then(|| CacheModel::new(global.config.l1));
         let seed = global.config.seed ^ ((tid as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
         let cm = make_cm(global.config.effective_cm(), &global.config);
+        let global_prof = global.config.prof;
         ThreadCtx {
             tid,
             global,
@@ -304,6 +330,7 @@ impl ThreadCtx {
             has_priority: false,
             cm,
             vtx: VerifyTxn::default(),
+            prof: global_prof.then(|| Box::new(ProfThread::default())),
         }
     }
 
@@ -338,16 +365,51 @@ impl ThreadCtx {
         self.charge_app(cycles);
     }
 
+    // Every simulated cycle enters the clock through exactly one of
+    // the four charge paths below (plus the barrier clock jump, which
+    // does its own attribution). With profiling on, each path assigns
+    // the cycles to exactly one `ProfBucket` — either immediately, or
+    // via the per-attempt staging counters (`txn.app_cycles`,
+    // `prof.att_tm`) folded by outcome in `prof_end_attempt`. That is
+    // what makes the sum-of-buckets == clock invariant hold by
+    // construction.
+
     #[inline]
     pub(crate) fn charge_app(&mut self, cycles: u64) {
         if self.in_txn {
+            // Staged: folded to Useful (commit) or Wasted (abort).
             self.txn.app_cycles += cycles;
+        } else if let Some(p) = &mut self.prof {
+            // Non-transactional execution is useful by definition.
+            p.add(ProfBucket::Useful, cycles);
         }
         self.advance(cycles);
     }
 
     #[inline]
     pub(crate) fn charge_tm(&mut self, cycles: u64) {
+        if let Some(p) = &mut self.prof {
+            if self.in_txn {
+                // Staged: folded to Overhead (commit) or Wasted (abort).
+                p.att_tm += cycles;
+            } else {
+                // Out-of-txn TM bookkeeping (begin fixed cost, commit
+                // tail after the attempt closes) is overhead of a
+                // committed or about-to-run attempt.
+                p.add(ProfBucket::Overhead, cycles);
+            }
+        }
+        self.advance(cycles);
+    }
+
+    /// Charge `cycles` directly to a specific profiler bucket (abort
+    /// fixed cost, CM backoff). Identical simulated cost to
+    /// `charge_tm`; only the attribution differs.
+    #[inline]
+    pub(crate) fn charge_bucket(&mut self, cycles: u64, bucket: ProfBucket) {
+        if let Some(p) = &mut self.prof {
+            p.add(bucket, cycles);
+        }
         self.advance(cycles);
     }
 
@@ -356,10 +418,69 @@ impl ThreadCtx {
     /// condition can only change once another thread runs, so batching
     /// probe cycles locally (as `charge_tm` does) would just burn host
     /// time re-probing before the inevitable handoff.
+    ///
+    /// All spin probes are waits on another thread (commit token, CM
+    /// serialization queue, GlobalLock, eager-HTM stalls), so the
+    /// profiler books them as [`ProfBucket::Wait`] regardless of
+    /// transaction state.
     #[inline]
     pub(crate) fn spin_charge(&mut self, cycles: u64) {
-        self.charge_tm(cycles);
+        if let Some(p) = &mut self.prof {
+            p.add(ProfBucket::Wait, cycles);
+        }
+        self.advance(cycles);
         self.flush();
+    }
+
+    // ---- tm::prof instrumentation ---------------------------------
+
+    /// Profiler hook: a new transaction attempt begins (clears the
+    /// per-attempt staging counters).
+    #[inline]
+    pub(crate) fn prof_begin_attempt(&mut self) {
+        if let Some(p) = &mut self.prof {
+            p.begin_attempt();
+        }
+    }
+
+    /// Profiler hook: the current attempt resolved. Folds the staged
+    /// application and TM cycles into their outcome buckets. Must run
+    /// after `in_txn` is cleared and before any post-attempt charges.
+    #[inline]
+    pub(crate) fn prof_end_attempt(&mut self, committed: bool) {
+        if let Some(p) = &mut self.prof {
+            p.end_attempt(committed, self.txn.app_cycles);
+        }
+    }
+
+    /// Profiler hook: record a conflict event — `aborter` (when
+    /// identifiable) aborted or doomed `victim` at heap line `line`.
+    /// Takes `&self` so doom-scan paths holding only a shared borrow
+    /// can record.
+    #[inline]
+    pub(crate) fn prof_conflict(&self, line: u64, aborter: Option<usize>, victim: usize) {
+        if let Some(ps) = &self.global.prof {
+            ps.record(line, aborter, victim);
+        }
+    }
+
+    /// Profiler hook (STM): remember which heap line a lock-table index
+    /// guards this attempt, so a validation failure can be attributed
+    /// to a concrete line.
+    #[inline]
+    pub(crate) fn prof_note_lock_line(&mut self, idx: u32, line: u64) {
+        if let Some(p) = &mut self.prof {
+            p.lock_lines.entry(idx).or_insert(line);
+        }
+    }
+
+    /// Profiler hook (STM): resolve a lock-table index recorded by
+    /// [`ThreadCtx::prof_note_lock_line`] back to its heap line.
+    #[inline]
+    pub(crate) fn prof_lock_line(&self, idx: u32) -> Option<u64> {
+        self.prof
+            .as_ref()
+            .and_then(|p| p.lock_lines.get(&idx).copied())
     }
 
     #[inline]
@@ -594,6 +715,11 @@ impl ThreadCtx {
             self.global.scheduler.unpark_all(release);
         }
         self.global.scheduler.wait_turn(self.tid);
+        if let Some(p) = &mut self.prof {
+            // The jump to the latest arrival is time spent blocked at
+            // the barrier.
+            p.add(ProfBucket::Barrier, release.saturating_sub(self.clock));
+        }
         self.clock = self.clock.max(release);
         self.pending = 0;
     }

@@ -237,6 +237,39 @@ impl RunStats {
         mean(self.records.records(), |r| r.app_cycles as f64)
     }
 
+    /// Maximum application cycles over the sampled committed
+    /// transactions (Table IV, "Length — Max").
+    pub fn max_txn_len(&self) -> u64 {
+        self.records
+            .records()
+            .iter()
+            .map(|r| r.app_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean read-set size in lines (Table IV, "Read set — Mean").
+    pub fn mean_read_lines(&self) -> f64 {
+        mean(self.records.records(), |r| r.read_lines as f64)
+    }
+
+    /// Maximum read-set size in lines over the sample (Table IV,
+    /// "Read set — Max").
+    pub fn max_read_lines(&self) -> u32 {
+        percentile(self.records.records(), 1.0, |r| r.read_lines)
+    }
+
+    /// Mean write-set size in lines (Table IV, "Write set — Mean").
+    pub fn mean_write_lines(&self) -> f64 {
+        mean(self.records.records(), |r| r.write_lines as f64)
+    }
+
+    /// Maximum write-set size in lines over the sample (Table IV,
+    /// "Write set — Max").
+    pub fn max_write_lines(&self) -> u32 {
+        percentile(self.records.records(), 1.0, |r| r.write_lines)
+    }
+
     /// 90th-percentile read-set size in lines.
     pub fn p90_read_lines(&self) -> u32 {
         percentile(self.records.records(), 0.90, |r| r.read_lines)

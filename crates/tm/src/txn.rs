@@ -23,6 +23,7 @@ use crate::addr::{LineAddr, WordAddr};
 use crate::config::{MutationHook, SystemKind};
 use crate::heap::{TArray, TCell, TmValue};
 use crate::locks::LockWord;
+use crate::prof::ProfBucket;
 use crate::runtime::{LineSet, ThreadCtx, WordMap, NO_PRIORITY};
 use crate::stats::TxnRecord;
 use crate::trace::TraceLevel;
@@ -151,6 +152,10 @@ impl ThreadCtx {
                 }
             };
             self.in_txn = false;
+            // Fold the attempt's staged cycles into their outcome
+            // buckets before any post-attempt charges (abort fixed
+            // cost, backoff) land in theirs.
+            self.prof_end_attempt(committed.is_some());
             match committed {
                 Some(value) => {
                     self.finish_commit(start_clock, retries);
@@ -188,6 +193,7 @@ impl ThreadCtx {
         self.stats.attempts += 1;
         self.txn.reset();
         self.verify_begin_attempt();
+        self.prof_begin_attempt();
         self.global.doomed[self.tid].store(false, Ordering::SeqCst);
         self.global.active[self.tid].store(true, Ordering::SeqCst);
         self.cm_admission(retries);
@@ -312,8 +318,10 @@ impl ThreadCtx {
 
     fn after_abort(&mut self, retries: u32) {
         use std::sync::atomic::Ordering;
+        // The fixed abort cost belongs to the attempt that just died,
+        // not to (committed-attempt) overhead.
         let fixed = self.global.config.cost.abort_fixed;
-        self.charge_tm(fixed);
+        self.charge_bucket(fixed, ProfBucket::Wasted);
         let action = {
             let ThreadCtx {
                 cm,
@@ -337,7 +345,7 @@ impl ThreadCtx {
             // flush threshold), so skipping it is interleaving-neutral
             // and keeps the default schedules bit-identical.
             self.stats.backoff_cycles += action.backoff_cycles;
-            self.charge_tm(action.backoff_cycles);
+            self.charge_bucket(action.backoff_cycles, ProfBucket::Backoff);
         }
         if action.request_priority
             && self.global.config.system == SystemKind::EagerHtm
@@ -597,21 +605,35 @@ impl Txn<'_> {
         let idx = locks.index_of(addr);
         let w1 = locks.load(idx);
         let LockWord::Unlocked { version: v1 } = w1 else {
+            if let LockWord::Locked { owner } = w1 {
+                self.ctx
+                    .prof_conflict(addr.line().0, Some(owner), self.ctx.tid);
+            }
             return Err(Abort(()));
         };
         if v1 > self.ctx.txn.rv {
+            // Version overrun: the conflicting writer already committed
+            // and is anonymous.
+            self.ctx.prof_conflict(addr.line().0, None, self.ctx.tid);
             return Err(Abort(()));
         }
         // With the sanitizer on, the observation is recorded only after
         // the post-load lock recheck passes: a load that aborts here is
         // never part of the attempt's read set.
         let (val, pending) = self.ctx.txn_load_pending(addr);
-        if self.ctx.global.locks.load(idx) != w1 {
+        let w2 = self.ctx.global.locks.load(idx);
+        if w2 != w1 {
+            let aborter = match w2 {
+                LockWord::Locked { owner } => Some(owner),
+                LockWord::Unlocked { .. } => None,
+            };
+            self.ctx.prof_conflict(addr.line().0, aborter, self.ctx.tid);
             return Err(Abort(()));
         }
         self.ctx.txn_load_confirm(pending);
         self.ctx.txn.read_locks.push(idx);
         let line = addr.line();
+        self.ctx.prof_note_lock_line(idx, line.0);
         self.ctx.txn.read_lines.insert(line.0);
         let c = self.ctx.mem_cost(line);
         self.ctx.charge_app(c);
@@ -636,17 +658,29 @@ impl Txn<'_> {
                 // stable, so the observation can be recorded directly.
                 self.ctx.txn_load(addr)
             }
-            LockWord::Locked { .. } => return Err(Abort(())),
+            LockWord::Locked { owner } => {
+                self.ctx
+                    .prof_conflict(addr.line().0, Some(owner), self.ctx.tid);
+                return Err(Abort(()));
+            }
             w1 @ LockWord::Unlocked { version } => {
                 if version > self.ctx.txn.rv {
+                    self.ctx.prof_conflict(addr.line().0, None, self.ctx.tid);
                     return Err(Abort(()));
                 }
                 let (val, pending) = self.ctx.txn_load_pending(addr);
-                if self.ctx.global.locks.load(idx) != w1 {
+                let w2 = self.ctx.global.locks.load(idx);
+                if w2 != w1 {
+                    let aborter = match w2 {
+                        LockWord::Locked { owner } => Some(owner),
+                        LockWord::Unlocked { .. } => None,
+                    };
+                    self.ctx.prof_conflict(addr.line().0, aborter, self.ctx.tid);
                     return Err(Abort(()));
                 }
                 self.ctx.txn_load_confirm(pending);
                 self.ctx.txn.read_locks.push(idx);
+                self.ctx.prof_note_lock_line(idx, addr.line().0);
                 val
             }
         };
@@ -664,14 +698,26 @@ impl Txn<'_> {
         let idx = locks.index_of(addr);
         match locks.load(idx) {
             LockWord::Locked { owner } if owner == self.ctx.tid => {}
-            LockWord::Locked { .. } => return Err(Abort(())),
+            LockWord::Locked { owner } => {
+                self.ctx
+                    .prof_conflict(addr.line().0, Some(owner), self.ctx.tid);
+                return Err(Abort(()));
+            }
             LockWord::Unlocked { version } => {
                 if version > self.ctx.txn.rv {
+                    self.ctx.prof_conflict(addr.line().0, None, self.ctx.tid);
                     return Err(Abort(()));
                 }
                 match locks.try_lock(idx, self.ctx.tid) {
                     Ok(saved) => self.ctx.txn.held_locks.push((idx, saved)),
-                    Err(_) => return Err(Abort(())),
+                    Err(w) => {
+                        let aborter = match w {
+                            LockWord::Locked { owner } => Some(owner),
+                            LockWord::Unlocked { .. } => None,
+                        };
+                        self.ctx.prof_conflict(addr.line().0, aborter, self.ctx.tid);
+                        return Err(Abort(()));
+                    }
                 }
             }
         }
@@ -684,6 +730,27 @@ impl Txn<'_> {
     }
 
     // ----- HTMs ---------------------------------------------------------
+
+    /// Profiler helper: record a conflict that aborts *this*
+    /// transaction, attributing it to the lowest-tid transaction in
+    /// `mask` (or anonymously when the mask is empty).
+    #[inline]
+    fn prof_lost_to_mask(&self, line: LineAddr, mask: u32) {
+        let aborter = (mask != 0).then(|| mask.trailing_zeros() as usize);
+        self.ctx.prof_conflict(line.0, aborter, self.ctx.tid);
+    }
+
+    /// Profiler helper: doom thread `v` and record the conflict edge on
+    /// the first (false → true) doom transition, so each victim abort
+    /// is attributed exactly once. `swap` is semantically identical to
+    /// the plain `store(true)` the engine used before profiling.
+    #[inline]
+    fn doom_and_record(&self, line: u64, v: usize) {
+        use std::sync::atomic::Ordering;
+        if !self.ctx.global.doomed[v].swap(true, Ordering::SeqCst) {
+            self.ctx.prof_conflict(line, Some(self.ctx.tid), v);
+        }
+    }
 
     #[inline]
     fn check_doomed(&mut self) -> TxResult<()> {
@@ -845,6 +912,7 @@ impl Txn<'_> {
                 .wins_conflict(self.ctx.tid, victims, &self.ctx.global.cm_shared);
         if !self.ctx.has_priority && !cm_win && !stall {
             self.ctx.stats.priority_losses += 1;
+            self.prof_lost_to_mask(line, victims);
             return Err(Abort(()));
         }
         if stall && !self.ctx.has_priority && !cm_win {
@@ -857,6 +925,7 @@ impl Txn<'_> {
                 let v = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 if self.ctx.global.txn_ts[v].load(Ordering::SeqCst) < my_ts {
+                    self.ctx.prof_conflict(line.0, Some(v), self.ctx.tid);
                     return Err(Abort(()));
                 }
             }
@@ -883,16 +952,18 @@ impl Txn<'_> {
                 while mask != 0 {
                     let v = mask.trailing_zeros() as usize;
                     mask &= mask - 1;
-                    self.ctx.global.doomed[v].store(true, Ordering::SeqCst);
+                    self.doom_and_record(line.0, v);
                 }
                 // A karma winner can itself be doomed by a token holder
                 // or a concurrent karma winner: yield rather than stall
                 // a conflict we have already lost.
                 if cm_win && !self.ctx.has_priority && self.is_doomed() {
                     self.ctx.stats.priority_losses += 1;
+                    self.ctx.prof_conflict(line.0, None, self.ctx.tid);
                     return Err(Abort(()));
                 }
             } else if self.is_doomed() {
+                self.ctx.prof_conflict(line.0, None, self.ctx.tid);
                 return Err(Abort(()));
             }
             self.ctx.spin_charge(20);
@@ -902,6 +973,7 @@ impl Txn<'_> {
                 if doom {
                     self.ctx.stats.priority_losses += 1;
                 }
+                self.prof_lost_to_mask(line, remaining);
                 return Err(Abort(()));
             }
             if spins.is_multiple_of(64) {
@@ -927,6 +999,7 @@ impl Txn<'_> {
                     );
                 }
                 if !self.ctx.has_priority {
+                    self.ctx.prof_conflict(line.0, Some(t), self.ctx.tid);
                     return Err(Abort(()));
                 }
                 // Priority: doom the filter's owner and wait for it to
@@ -935,10 +1008,11 @@ impl Txn<'_> {
                 while self.ctx.global.active[t].load(Ordering::Acquire)
                     && self.ctx.global.overflow_sigs[t].maybe_contains(line)
                 {
-                    self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
+                    self.doom_and_record(line.0, t);
                     self.ctx.spin_charge(20);
                     spins += 1;
                     if spins > 100_000 {
+                        self.ctx.prof_conflict(line.0, Some(t), self.ctx.tid);
                         return Err(Abort(()));
                     }
                     if spins.is_multiple_of(64) {
@@ -1039,6 +1113,7 @@ impl Txn<'_> {
                     && self.ctx.global.active[t].load(Ordering::Acquire)
                     && self.ctx.global.write_sigs[t].maybe_contains(line)
                 {
+                    self.ctx.prof_conflict(line.0, Some(t), self.ctx.tid);
                     return Err(Abort(())); // requester loses; backoff breaks ties
                 }
             }
@@ -1062,6 +1137,7 @@ impl Txn<'_> {
                     let sig_hit = self.ctx.global.write_sigs[t].maybe_contains(line)
                         || self.ctx.global.read_sigs[t].maybe_contains(line);
                     if sig_hit {
+                        self.ctx.prof_conflict(line.0, Some(t), self.ctx.tid);
                         return Err(Abort(()));
                     }
                 }
@@ -1106,26 +1182,38 @@ impl Txn<'_> {
     /// a read entry locked by ourselves is valid only if the version the
     /// lock held *before we acquired it* is no newer than `rv`. (Eager
     /// STM passes an empty slice: it version-checks at acquisition.)
-    fn validate_read_set(&self, acquired: &[(u32, u64)]) -> bool {
+    /// On failure, returns the offending lock-table index and the
+    /// conflicting owner when one is identifiable (for the profiler's
+    /// conflict table; `None` means the writer already committed).
+    fn validate_read_set(&self, acquired: &[(u32, u64)]) -> Result<(), (u32, Option<usize>)> {
         let rv = self.ctx.txn.rv;
         for &idx in &self.ctx.txn.read_locks {
             match self.ctx.global.locks.load(idx) {
                 LockWord::Locked { owner } if owner == self.ctx.tid => {
                     if let Ok(pos) = acquired.binary_search_by_key(&idx, |&(i, _)| i) {
                         if acquired[pos].1 > rv {
-                            return false;
+                            return Err((idx, None));
                         }
                     }
                 }
-                LockWord::Locked { .. } => return false,
+                LockWord::Locked { owner } => return Err((idx, Some(owner))),
                 LockWord::Unlocked { version } => {
                     if version > rv {
-                        return false;
+                        return Err((idx, None));
                     }
                 }
             }
         }
-        true
+        Ok(())
+    }
+
+    /// Profiler helper: attribute a TL2 validation failure at lock-table
+    /// index `idx` to the heap line the attempt read through it.
+    #[inline]
+    fn prof_validation_conflict(&self, idx: u32, owner: Option<usize>) {
+        if let Some(line) = self.ctx.prof_lock_line(idx) {
+            self.ctx.prof_conflict(line, owner, self.ctx.tid);
+        }
     }
 
     fn commit_lazy_stm(&mut self) -> TxResult<()> {
@@ -1140,21 +1228,30 @@ impl Txn<'_> {
             return Ok(()); // read-only: rv-consistent by TL2 validation
         }
         // Lock the write set in index order (deadlock-free; any failure
-        // aborts).
-        let mut idxs: Vec<u32> = self
+        // aborts). Each index carries one heap line it guards, so a
+        // lock-acquisition conflict can be attributed by the profiler.
+        let mut idxs: Vec<(u32, u64)> = self
             .ctx
             .txn
             .write_map
             .keys()
-            .map(|&a| self.ctx.global.locks.index_of(WordAddr(a)))
+            .map(|&a| {
+                let addr = WordAddr(a);
+                (self.ctx.global.locks.index_of(addr), addr.line().0)
+            })
             .collect();
         idxs.sort_unstable();
-        idxs.dedup();
+        idxs.dedup_by_key(|&mut (i, _)| i);
         let mut acquired: Vec<(u32, u64)> = Vec::with_capacity(idxs.len());
-        for &idx in &idxs {
+        for &(idx, line) in &idxs {
             match self.ctx.global.locks.try_lock(idx, self.ctx.tid) {
                 Ok(saved) => acquired.push((idx, saved)),
-                Err(_) => {
+                Err(w) => {
+                    let aborter = match w {
+                        LockWord::Locked { owner } => Some(owner),
+                        LockWord::Unlocked { .. } => None,
+                    };
+                    self.ctx.prof_conflict(line, aborter, self.ctx.tid);
                     for &(i, v) in &acquired {
                         self.ctx.global.locks.unlock(i, v);
                     }
@@ -1167,11 +1264,14 @@ impl Txn<'_> {
         // commit-time validation admits stale read sets, which the
         // sanitizer must surface as a serialization cycle.
         let skip_validation = self.ctx.global.config.mutation == MutationHook::SkipTl2Validation;
-        if wv > self.ctx.txn.rv + 1 && !skip_validation && !self.validate_read_set(&acquired) {
-            for &(i, v) in &acquired {
-                self.ctx.global.locks.unlock(i, v);
+        if wv > self.ctx.txn.rv + 1 && !skip_validation {
+            if let Err((idx, owner)) = self.validate_read_set(&acquired) {
+                self.prof_validation_conflict(idx, owner);
+                for &(i, v) in &acquired {
+                    self.ctx.global.locks.unlock(i, v);
+                }
+                return Err(Abort(()));
             }
-            return Err(Abort(()));
         }
         let cost = self.ctx.global.config.cost;
         let entries: Vec<(u64, u64)> = self
@@ -1203,8 +1303,11 @@ impl Txn<'_> {
         let wv = self.ctx.global.clock.increment();
         // Mutation hook: see `commit_lazy_stm`.
         let skip_validation = self.ctx.global.config.mutation == MutationHook::SkipTl2Validation;
-        if wv > self.ctx.txn.rv + 1 && !skip_validation && !self.validate_read_set(&[]) {
-            return Err(Abort(())); // rollback (in try_commit) undoes and releases
+        if wv > self.ctx.txn.rv + 1 && !skip_validation {
+            if let Err((idx, owner)) = self.validate_read_set(&[]) {
+                self.prof_validation_conflict(idx, owner);
+                return Err(Abort(())); // rollback (in try_commit) undoes and releases
+            }
         }
         self.ctx
             .charge_tm(cost.commit_per_read * self.ctx.txn.read_locks.len() as u64);
@@ -1217,7 +1320,6 @@ impl Txn<'_> {
     }
 
     fn commit_lazy_htm(&mut self) -> TxResult<()> {
-        use std::sync::atomic::Ordering;
         self.check_doomed()?;
         if self.ctx.txn.write_map.is_empty() && !self.ctx.txn.serialized {
             self.read_only_fence()?;
@@ -1280,7 +1382,7 @@ impl Txn<'_> {
             while mask != 0 {
                 let t = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
+                self.doom_and_record(line.0, t);
             }
             let c = self.ctx.mem_cost(line);
             self.ctx.charge_app(c);
@@ -1324,7 +1426,7 @@ impl Txn<'_> {
                 if self.ctx.global.read_sigs[t].maybe_contains(line)
                     || self.ctx.global.write_sigs[t].maybe_contains(line)
                 {
-                    self.ctx.global.doomed[t].store(true, Ordering::SeqCst);
+                    self.doom_and_record(l, t);
                     break;
                 }
             }

@@ -367,6 +367,58 @@ proptest! {
         prop_assert!(a == b, "same-seed replay diverged on {}: {:?} vs {:?}", sys, a, b);
     }
 
+    /// The profiler's accounting invariant as a property: for any
+    /// workload shape, system, data seed and scheduler seed, every
+    /// simulated cycle lands in exactly one bucket (the six buckets sum
+    /// to each thread's clock), profiling charges zero simulated
+    /// cycles, and equal seeds replay the entire report — buckets and
+    /// conflict table — bit for bit.
+    #[test]
+    fn prof_buckets_additive_and_replay_deterministic(
+        sys_idx in 0usize..6,
+        threads in 2usize..5,
+        iters in 10u64..80,
+        seed in 1u64..u64::MAX,
+        sched_seed in 0u64..u64::MAX,
+    ) {
+        use tm::{ProfBucket, SchedMode, TmRuntime};
+        let sys = SystemKind::ALL_TM[sys_idx];
+        let run_once = |prof: bool| {
+            let cfg = TmConfig::new(sys, threads)
+                .seed(seed)
+                .sched(SchedMode::MinClock)
+                .sched_seed(sched_seed)
+                .prof(prof);
+            let rt = TmRuntime::new(cfg);
+            let cell = rt.heap().alloc_cell(0u64);
+            rt.run(|ctx| {
+                for _ in 0..iters {
+                    ctx.atomic(|txn| {
+                        let v = txn.read(&cell)?;
+                        txn.work(3);
+                        txn.write(&cell, v + 1)
+                    });
+                    ctx.work(5);
+                }
+            })
+        };
+        let plain = run_once(false);
+        let a = run_once(true);
+        let b = run_once(true);
+        let prof = a.prof.as_ref().expect("prof enabled");
+        if let Err(e) = prof.check() {
+            prop_assert!(false, "{} threads={}: {}", sys, threads, e);
+        }
+        prop_assert_eq!(prof.total_cycles(), a.stats.cycles_total);
+        prop_assert_eq!(prof.bucket(ProfBucket::Backoff), a.stats.backoff_cycles);
+        prop_assert!(
+            plain.sim_cycles == a.sim_cycles,
+            "profiling changed sim_cycles on {}", sys
+        );
+        prop_assert_eq!(plain.stats.aborts, a.stats.aborts);
+        prop_assert!(a.prof == b.prof, "prof report did not replay on {}", sys);
+    }
+
     /// Different scheduler seeds explore different interleavings but
     /// every schedule stays correct: the counter is exact and the
     /// sanitizer finds each run serializable.

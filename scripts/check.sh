@@ -22,4 +22,10 @@ cargo run -q --release -p bench --bin ablation_cm -- --smoke
 echo "==> schedfuzz --smoke"
 TM_VERIFY=1 cargo run -q --release -p bench --bin schedfuzz -- --smoke
 
+echo "==> table4 --smoke"
+cargo run -q --release -p bench --bin table4 -- --smoke
+
+echo "==> table4 --check"
+cargo run -q --release -p bench --bin table4 -- --check
+
 echo "check.sh: all gates passed"

@@ -18,6 +18,7 @@ run() {
 
 cargo build --release --workspace
 
+run table4_breakdown.txt       --bin table4 -- --scale "$SCALE"
 run table6.txt                 --bin table6 -- --scale "$SCALE"
 run figure1.txt                --bin figure1 -- --scale "$SCALE"
 run table3.txt                 --bin table3 -- --scale 4
@@ -37,5 +38,12 @@ run ablation_cm.txt            --bin ablation_cm -- --scale 2 \
 # `cargo test --release --test golden -- --ignored` can diff them.
 echo ">>> schedfuzz --golden -> results/golden/"
 cargo run --release -p bench --bin schedfuzz -- --golden
+
+# Table IV characterization + cycle-breakdown artifact
+# (results/table4.json): always the pinned profiling configuration
+# (scale 64, 4 threads, golden scheduler seed), so
+# `table4 --check` and `cargo test --test table4` can byte-diff it.
+echo ">>> table4 --write -> results/table4.json"
+cargo run --release -p bench --bin table4 -- --write
 
 echo "all results regenerated (scale $SCALE)"
