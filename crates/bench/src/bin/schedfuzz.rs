@@ -22,11 +22,18 @@
 //! Common flags: `--variants a,b,...`, `--systems eager-htm,...`,
 //! `--threads N`, `--scale N`, `--seed0 S` (first seed of a sweep),
 //! `--json <path>`.
+//!
+//! `--faults <spec>` composes fault injection (the `TM_FAULT` grammar,
+//! see `tm::fault`) with schedule fuzzing: each run derives its fault
+//! seed from the spec's seed and the scheduler seed, so one sweep
+//! explores (schedule × fault) space while staying an exact repro.
+//! Faulted runs additionally assert the liveness invariants
+//! (commits + aborts == attempts, every thread commits).
 
 use bench::json::{report_row, JsonSink};
 use bench::{golden, run_variant, selected_variants};
 use stamp_util::{AppReport, Args, Variant};
-use tm::{SchedMode, SystemKind, TmConfig};
+use tm::{FaultConfig, SchedMode, SystemKind, TmConfig};
 
 fn parse_systems(args: &Args) -> Vec<SystemKind> {
     match args.get("systems") {
@@ -43,7 +50,8 @@ fn parse_systems(args: &Args) -> Vec<SystemKind> {
 
 /// Statistics that must be bit-identical between two runs of the same
 /// configuration (everything the engine reports except wall time).
-fn stats_key(rep: &AppReport) -> (u64, u64, u64, u64, u64, u64, u64, u64, bool) {
+#[allow(clippy::type_complexity)]
+fn stats_key(rep: &AppReport) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, bool) {
     let s = &rep.run.stats;
     (
         rep.run.sim_cycles,
@@ -54,12 +62,28 @@ fn stats_key(rep: &AppReport) -> (u64, u64, u64, u64, u64, u64, u64, u64, bool) 
         s.serialized_commits,
         s.priority_wins,
         s.priority_losses,
+        s.spurious_aborts,
+        s.irrevocable_commits,
+        s.watchdog_trips,
         rep.verified,
+    )
+}
+
+/// The fault profile a run at scheduler seed `sched_seed` uses: the
+/// spec's own seed mixed with the scheduler seed, so a seed sweep
+/// explores the (schedule × fault) product while every run remains an
+/// exact repro. Never derives 0 (which would disable injection).
+fn fault_at(spec: &FaultConfig, sched_seed: u64) -> FaultConfig {
+    spec.with_seed(
+        tm::SplitMix64::new(spec.seed ^ sched_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .next_u64()
+            .max(1),
     )
 }
 
 /// One fuzz run: sanitizer recording every transaction, one scheduler
 /// seed. Panics (with a repro line) on any violation.
+#[allow(clippy::too_many_arguments)]
 fn fuzz_one(
     v: &Variant,
     sys: SystemKind,
@@ -67,14 +91,22 @@ fn fuzz_one(
     scale: u32,
     mode: SchedMode,
     sched_seed: u64,
+    faults: Option<&FaultConfig>,
 ) -> AppReport {
-    let cfg = TmConfig::new(sys, threads)
+    let mut cfg = TmConfig::new(sys, threads)
         .verify(true)
         .sched(mode)
         .sched_seed(sched_seed);
+    let mut fault_note = String::new();
+    if let Some(spec) = faults {
+        let fc = fault_at(spec, sched_seed);
+        fault_note = format!(" TM_FAULT={}", fc.spec());
+        cfg = cfg.fault(fc);
+    }
     let rep = run_variant(v, scale, cfg);
     let repro = format!(
-        "repro: {} under {} mode={} threads={threads} scale={scale} TM_SCHED_SEED={sched_seed}",
+        "repro: {} under {} mode={} threads={threads} scale={scale} \
+         TM_SCHED_SEED={sched_seed}{fault_note}",
         v.name,
         sys.label(),
         mode.label(),
@@ -85,6 +117,17 @@ fn fuzz_one(
         "serializability violation!\n{verify}\n{repro}"
     );
     assert!(rep.verified, "app verification failed\n{repro}");
+    if faults.is_some() {
+        let s = &rep.run.stats;
+        assert_eq!(
+            s.commits + s.aborts,
+            s.attempts,
+            "attempt ledger does not balance\n{repro}"
+        );
+        for (tid, &c) in rep.run.thread_commits.iter().enumerate() {
+            assert!(c > 0, "thread {tid} starved (0 commits)\n{repro}");
+        }
+    }
     rep
 }
 
@@ -97,12 +140,14 @@ fn sweep(
     mode: SchedMode,
     seed0: u64,
     seeds: u64,
+    faults: Option<&FaultConfig>,
     sink: &mut JsonSink,
 ) {
     println!(
-        "SWEEP mode={} seeds={seed0}..{} threads={threads} scale=1/{scale}",
+        "SWEEP mode={} seeds={seed0}..{} threads={threads} scale=1/{scale}{}",
         mode.label(),
-        seed0 + seeds
+        seed0 + seeds,
+        faults.map_or(String::new(), |f| format!(" faults[{}]", f.spec())),
     );
     println!(
         "{:<14} {:<12} {:>10} {:>14} {:>9} {:>8} | verdict",
@@ -113,7 +158,7 @@ fn sweep(
             let mut first: Option<AppReport> = None;
             for i in 0..seeds {
                 let seed = seed0 + i;
-                let rep = fuzz_one(v, sys, threads, scale, mode, seed);
+                let rep = fuzz_one(v, sys, threads, scale, mode, seed, faults);
                 println!(
                     "{:<14} {:<12} {:>10} {:>14} {:>9.2} {:>8} | clean",
                     v.name,
@@ -123,19 +168,29 @@ fn sweep(
                     rep.run.stats.retries_per_txn(),
                     rep.run.stats.aborts,
                 );
-                sink.push(
-                    report_row(v.name, &rep)
-                        .str("sched", mode.label())
-                        .u64("sched_seed", seed)
-                        .u64("scale", scale as u64),
-                );
+                let mut row = report_row(v.name, &rep)
+                    .str("sched", mode.label())
+                    .u64("sched_seed", seed)
+                    .u64("scale", scale as u64);
+                if let Some(spec) = faults {
+                    // Only faulted rows carry the fault columns, so the
+                    // fault-free output (incl. goldens) stays
+                    // byte-identical to the pre-fault harness.
+                    let s = &rep.run.stats;
+                    row = row
+                        .str("faults", &fault_at(spec, seed).spec())
+                        .u64("spurious_aborts", s.spurious_aborts)
+                        .u64("irrevocable_commits", s.irrevocable_commits)
+                        .u64("watchdog_trips", s.watchdog_trips);
+                }
+                sink.push(row);
                 if i == 0 {
                     first = Some(rep);
                 }
             }
             // Replay determinism: the first seed, run again, must
             // reproduce every statistic bit for bit.
-            let replay = fuzz_one(v, sys, threads, scale, mode, seed0);
+            let replay = fuzz_one(v, sys, threads, scale, mode, seed0, faults);
             let first = first.expect("at least one seed");
             assert_eq!(
                 stats_key(&first),
@@ -160,14 +215,14 @@ fn smoke(scale: u32, sink: &mut JsonSink) {
             avg_gap: tm::DEFAULT_PCT_GAP,
         },
     ] {
-        sweep(&variants, &systems, 4, scale, mode, 0, 3, sink);
+        sweep(&variants, &systems, 4, scale, mode, 0, 3, None, sink);
     }
     // Byte-identical JSON proof: render the same mini-report twice.
     let render_once = || {
         let mut s = JsonSink::new();
         for v in &variants {
             for &sys in &systems {
-                let rep = fuzz_one(v, sys, 4, scale, SchedMode::MinClock, 1);
+                let rep = fuzz_one(v, sys, 4, scale, SchedMode::MinClock, 1, None);
                 s.push(report_row(v.name, &rep).u64("sched_seed", 1));
             }
         }
@@ -224,6 +279,11 @@ fn main() {
                 .collect()
         }));
         let systems = parse_systems(&args);
+        let faults = args.get("faults").map(|spec| {
+            let fc = FaultConfig::parse(spec).unwrap_or_else(|e| panic!("--faults: {e}"));
+            assert!(fc.enabled(), "--faults spec is a no-op: {spec:?}");
+            fc
+        });
         let pct_seeds = args.get_u64("pct", 0);
         let sweep_seeds = args.get_u64("sweep", 0);
         assert!(
@@ -239,6 +299,7 @@ fn main() {
                 SchedMode::MinClock,
                 seed0,
                 sweep_seeds,
+                faults.as_ref(),
                 &mut sink,
             );
         }
@@ -252,6 +313,7 @@ fn main() {
                 SchedMode::Pct { avg_gap: gap },
                 seed0,
                 pct_seeds,
+                faults.as_ref(),
                 &mut sink,
             );
         }

@@ -18,6 +18,12 @@
 //!   Early release forfeits opacity for the released line and is
 //!   sanctioned in exactly one place: labyrinth's grid-snapshot loop
 //!   (§III-B5 of the paper), which carries an explicit allow comment.
+//! * **`catch-abort`** — swallowing a `TxResult` from a `txn.` barrier
+//!   call inside a parallel phase (`.ok()`, `.is_ok(...)`,
+//!   `.is_err(...)`, `.unwrap_or...`, or `let _ = txn...`). Aborts must
+//!   propagate with `?` so the runtime retries (and, under fault
+//!   injection, so the watchdog can escalate); catching one by hand
+//!   turns a doomed attempt into silent data loss.
 //!
 //! A finding is suppressed by `// lint:allow(<rule>)` on the same line
 //! or the immediately preceding line — the escape hatch doubles as an
@@ -40,6 +46,8 @@ pub enum Rule {
     RawHeapAccess,
     /// Any `early_release` call site.
     EarlyRelease,
+    /// Swallowing a `TxResult` from a barrier call in a parallel phase.
+    CatchAbort,
 }
 
 impl Rule {
@@ -49,6 +57,7 @@ impl Rule {
             Rule::SetupMemInParallel => "setup-mem-in-parallel",
             Rule::RawHeapAccess => "raw-heap-access",
             Rule::EarlyRelease => "early-release",
+            Rule::CatchAbort => "catch-abort",
         }
     }
 }
@@ -125,6 +134,23 @@ fn code_of(line: &str) -> String {
     out
 }
 
+/// Does `code` swallow the `TxResult` of a `txn.` barrier call instead
+/// of propagating it with `?`? Lexical, like the rest of the pass: the
+/// workspace idiom names the transaction handle `txn`, and the only
+/// sound treatments of its results are `?` and returning them.
+fn catches_abort(code: &str) -> bool {
+    let Some(i) = code.find("txn.") else {
+        return false;
+    };
+    if code.trim_start().starts_with("let _ =") || code.trim_start().starts_with("let _=") {
+        return true;
+    }
+    let rest = &code[i..];
+    [".ok()", ".is_ok(", ".is_err(", ".unwrap_or"]
+        .iter()
+        .any(|p| rest.contains(p))
+}
+
 /// Does `line` (the raw source line) carry an allow comment for `rule`?
 fn allows(line: &str, rule: Rule) -> bool {
     line.find("lint:allow(")
@@ -164,6 +190,9 @@ pub fn lint_file_contents(file: &str, src: &str) -> Vec<Finding> {
         }
         if code.contains("early_release(") {
             report(Rule::EarlyRelease, &mut findings);
+        }
+        if in_parallel && catches_abort(&code) {
+            report(Rule::CatchAbort, &mut findings);
         }
 
         // Region bookkeeping, after matching: the trigger line itself
@@ -307,6 +336,58 @@ fn setup(heap: &TmHeap, addr: WordAddr) {
         let same_line =
             "fn f(txn: &mut Txn) { txn.early_release(addr); } // lint:allow(early-release)\n";
         assert!(lint_file_contents("f.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn caught_aborts_are_flagged() {
+        let src = r#"
+pub fn run(rt: &TmRuntime) {
+    rt.run(|ctx| {
+        ctx.atomic(|txn| {
+            let _ = txn.write(&cell, 1);
+            if txn.read(&cell).is_err() {
+                return Ok(());
+            }
+            let v = txn.read(&cell).unwrap_or(0);
+            txn.write(&cell, v).ok();
+            Ok(())
+        });
+    });
+}
+"#;
+        let findings = lint_file_contents("f.rs", src);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::CatchAbort));
+    }
+
+    #[test]
+    fn propagated_aborts_are_fine() {
+        let src = r#"
+pub fn run(rt: &TmRuntime) {
+    rt.run(|ctx| {
+        ctx.atomic(|txn| {
+            let v = txn.read(&cell)?;
+            txn.write(&cell, v + 1)
+        });
+    });
+}
+
+fn setup() {
+    // Outside a parallel region nothing is transactional: a stray
+    // `txn.` in a string or doc example must not trip the rule.
+    let s = "let _ = txn.read(&cell).ok()";
+    drop(s);
+}
+"#;
+        assert!(lint_file_contents("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn caught_abort_allow_escape() {
+        let src = "fn f(txn: &mut Txn) {\n    // lint:allow(catch-abort)\n    let _ = txn.write(&c, 1);\n}\n";
+        assert!(lint_file_contents("f.rs", src).is_empty());
+        let bare = "fn f(txn: &mut Txn) {\n    let _ = txn.write(&c, 1);\n}\n";
+        assert_eq!(lint_file_contents("f.rs", bare).len(), 1);
     }
 
     #[test]

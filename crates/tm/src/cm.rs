@@ -224,8 +224,23 @@ impl CmShared {
     }
 
     /// Credit `work` cycles of invested (and lost) work to `tid`.
+    /// Saturating: a transaction that has been retrying long enough to
+    /// approach `u64::MAX` invested cycles must pin at maximum
+    /// priority, not wrap to zero and lose every future conflict.
     pub fn add_karma(&self, tid: usize, work: u64) {
-        self.karma[tid].fetch_add(work, Ordering::Relaxed);
+        let cell = &self.karma[tid];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            match cell.compare_exchange_weak(
+                cur,
+                cur.saturating_add(work),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Reset `tid`'s karma (its transaction committed).
@@ -260,6 +275,12 @@ pub struct CmCtx<'a> {
     /// Application cycles the just-finished attempt performed (0 in
     /// [`ContentionManager::on_begin`]).
     pub attempt_work: u64,
+    /// Whether the abort being reported was caused by an *injected*
+    /// spurious event ([`crate::fault`]) rather than a real data
+    /// conflict (always false in `on_begin`/`on_commit`). Policies
+    /// that learn contention from abort outcomes must not treat
+    /// injected noise as contention.
+    pub spurious: bool,
     /// The thread's deterministic backoff RNG. Draw from it only when
     /// a nonzero backoff window is open, or the RNG stream (and thus
     /// every downstream simulated interleaving) diverges from the
@@ -336,7 +357,10 @@ fn linear_window(retries: u32, after: u32, base: u64) -> u64 {
         return 0;
     }
     let steps = (retries - after + 1).min(LINEAR_WINDOW_CAP);
-    base.saturating_mul(steps as u64) + 1
+    // Saturating throughout: with an extreme `base` the capped product
+    // can reach u64::MAX, where a bare `+ 1` would wrap the window to
+    // zero (no backoff at the moment of worst contention).
+    base.saturating_mul(steps as u64).saturating_add(1)
 }
 
 /// Draw a delay from `window` if it is open; zero otherwise (without
@@ -421,7 +445,9 @@ impl ContentionManager for ExponentialRandom {
             return 0;
         }
         let exp = (retries - self.after).min(self.max_exp);
-        self.base.saturating_mul(1u64 << exp.min(40)) + 1
+        self.base
+            .saturating_mul(1u64 << exp.min(40))
+            .saturating_add(1)
     }
 }
 
@@ -461,7 +487,7 @@ impl ContentionManager for Karma {
     fn backoff_window(&self, retries: u32) -> u64 {
         self.base
             .saturating_mul(retries.min(KARMA_WINDOW_CAP_STEPS) as u64)
-            + 1
+            .saturating_add(1)
     }
 
     fn wins_conflict(&self, tid: usize, victims: u32, shared: &CmShared) -> bool {
@@ -521,7 +547,12 @@ impl ContentionManager for AdaptiveSerialize {
     }
 
     fn on_abort(&mut self, ctx: &mut CmCtx<'_>) -> AbortAction {
-        self.update(true);
+        // Injected (spurious) aborts carry no contention signal: bumping
+        // the EWMA on them would serialize the whole run in response to
+        // noise. Real conflicts alone move the estimate.
+        if !ctx.spurious {
+            self.update(true);
+        }
         let backoff_cycles = if self.ewma_permille > self.threshold_permille {
             0 // the next attempt serializes; backoff would only idle
         } else {
@@ -595,6 +626,17 @@ mod tests {
     }
 
     #[test]
+    fn karma_accumulation_saturates_at_max() {
+        let shared = CmShared::new(2);
+        shared.add_karma(0, u64::MAX - 1);
+        shared.add_karma(0, u64::MAX);
+        assert_eq!(shared.karma(0), u64::MAX, "karma must pin, not wrap");
+        shared.add_karma(0, 1);
+        assert_eq!(shared.karma(0), u64::MAX);
+        assert_eq!(shared.karma(1), 0, "other threads unaffected");
+    }
+
+    #[test]
     fn parse_labels_roundtrip() {
         for p in CmPolicy::ALL {
             assert_eq!(CmPolicy::parse(p.label()), Some(p), "{p}");
@@ -615,6 +657,7 @@ mod tests {
                 tid: 0,
                 retries,
                 attempt_work: 10,
+                spurious: false,
                 rng: &mut rng,
                 shared: &shared,
             });
@@ -658,6 +701,7 @@ mod tests {
             tid: 0,
             retries: 1,
             attempt_work: 10,
+            spurious: false,
             rng: &mut rng,
             shared: &shared,
         };

@@ -2,6 +2,7 @@
 //! processors, and the machine cost model of Table V.
 
 use crate::cm::CmPolicy;
+use crate::fault::{FaultConfig, WatchdogConfig};
 use crate::sched::{SchedMode, DEFAULT_SCHED_SEED};
 
 /// The six TM system designs evaluated in the STAMP paper (§IV), plus a
@@ -410,6 +411,20 @@ pub struct TmConfig {
     /// the profiler charges zero simulated cycles — `sim_cycles` and
     /// all engine statistics are bit-identical either way.
     pub prof: bool,
+    /// Deterministic spurious-event injection ([`crate::fault`]):
+    /// capacity-pressure aborts, interrupt hazards, signature false
+    /// positives, and delayed commits, drawn from per-attempt SplitMix
+    /// streams. Also settable with `TM_FAULT=<spec>` (see
+    /// [`FaultConfig::parse`] for the grammar). `None`, or a config
+    /// whose seed is 0 or whose rates are all zero, disables the
+    /// layer at zero simulated and host cost.
+    pub fault: Option<FaultConfig>,
+    /// Starvation-watchdog bounds for the irrevocable-mode escalation
+    /// ([`crate::fault::WatchdogConfig`]). Also settable with
+    /// `TM_WATCHDOG=aborts=N,cycles=C`. When `None`, the watchdog
+    /// arms with default bounds whenever fault injection is enabled
+    /// and stays off otherwise — see [`TmConfig::effective_watchdog`].
+    pub watchdog: Option<WatchdogConfig>,
     /// Deliberate fault injection for mutation-testing the sanitizer.
     /// Leave at [`MutationHook::None`] for correct execution.
     pub mutation: MutationHook,
@@ -486,6 +501,18 @@ impl TmConfig {
             prof: std::env::var("TM_PROF")
                 .map(|v| !v.is_empty() && v != "0")
                 .unwrap_or(false),
+            fault: match std::env::var("TM_FAULT") {
+                Ok(v) if !v.is_empty() => {
+                    Some(FaultConfig::parse(&v).unwrap_or_else(|e| panic!("TM_FAULT={v:?}: {e}")))
+                }
+                _ => None,
+            },
+            watchdog: match std::env::var("TM_WATCHDOG") {
+                Ok(v) if !v.is_empty() => Some(
+                    WatchdogConfig::parse(&v).unwrap_or_else(|e| panic!("TM_WATCHDOG={v:?}: {e}")),
+                ),
+                _ => None,
+            },
             mutation: MutationHook::None,
         }
     }
@@ -579,11 +606,41 @@ impl TmConfig {
         self
     }
 
+    /// Enable deterministic spurious-event injection (takes precedence
+    /// over the `TM_FAULT` environment variable).
+    pub fn fault(mut self, cfg: FaultConfig) -> Self {
+        self.fault = Some(cfg);
+        self
+    }
+
+    /// Set explicit starvation-watchdog bounds (takes precedence over
+    /// `TM_WATCHDOG` and the fault-layer default).
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
     /// Inject a deliberate engine fault (mutation testing of the
     /// sanitizer — never use for real measurements).
     pub fn mutation_hook(mut self, hook: MutationHook) -> Self {
         self.mutation = hook;
         self
+    }
+
+    /// The active fault-injection configuration, if the layer is
+    /// enabled (nonzero seed and at least one nonzero rate).
+    pub fn effective_fault(&self) -> Option<FaultConfig> {
+        self.fault.filter(FaultConfig::enabled)
+    }
+
+    /// The active starvation-watchdog bounds: the explicit override if
+    /// set, otherwise the defaults — but only when fault injection is
+    /// enabled. With both unset the watchdog is off, so default runs
+    /// cannot deviate (by even one atomic load's outcome) from the
+    /// pre-watchdog engine.
+    pub fn effective_watchdog(&self) -> Option<WatchdogConfig> {
+        self.watchdog
+            .or_else(|| self.effective_fault().map(|_| WatchdogConfig::default()))
     }
 
     /// The effective backoff policy: the override if set, otherwise the
@@ -687,6 +744,34 @@ mod tests {
         // ...but an explicit CM choice wins.
         let cfg = cfg.cm(CmPolicy::DEFAULT_KARMA);
         assert_eq!(cfg.effective_cm(), CmPolicy::DEFAULT_KARMA);
+    }
+
+    #[test]
+    fn watchdog_arms_only_with_faults() {
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2);
+        assert_eq!(cfg.effective_fault(), None);
+        assert_eq!(cfg.effective_watchdog(), None);
+        // An enabled fault layer arms the default watchdog.
+        let fault = FaultConfig::parse("seed=3,intr=5").unwrap();
+        let cfg = cfg.fault(fault);
+        assert_eq!(cfg.effective_fault(), Some(fault));
+        assert_eq!(cfg.effective_watchdog(), Some(WatchdogConfig::default()));
+        // All-zero rates (or seed 0) keep both off.
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2).fault(FaultConfig::default());
+        assert_eq!(cfg.effective_fault(), None);
+        assert_eq!(cfg.effective_watchdog(), None);
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2).fault(fault.with_seed(0));
+        assert_eq!(cfg.effective_watchdog(), None);
+        // An explicit watchdog works without faults and overrides the
+        // default bounds.
+        let wd = WatchdogConfig {
+            max_consecutive_aborts: 8,
+            max_invested_cycles: 0,
+        };
+        let cfg = TmConfig::new(SystemKind::LazyStm, 2).watchdog(wd);
+        assert_eq!(cfg.effective_watchdog(), Some(wd));
+        let cfg = cfg.fault(fault);
+        assert_eq!(cfg.effective_watchdog(), Some(wd));
     }
 
     #[test]

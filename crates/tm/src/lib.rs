@@ -54,6 +54,7 @@ pub mod cache;
 pub mod cm;
 pub mod config;
 pub mod directory;
+pub mod fault;
 pub mod fxhash;
 pub mod heap;
 pub mod locks;
@@ -73,6 +74,7 @@ pub use config::{
     BackoffPolicy, CacheGeometry, CostModel, Granularity, HtmConflictPolicy, MutationHook,
     SystemKind, TmConfig,
 };
+pub use fault::{FaultConfig, FaultKind, SplitMix64, WatchdogConfig};
 pub use heap::{TArray, TCell, TmHeap, TmValue};
 pub use prof::{ConflictPair, HotLine, ProfBucket, ProfReport, ProfThreadReport, PROF_BUCKETS};
 pub use runtime::{RunReport, ThreadCtx, TmRuntime};

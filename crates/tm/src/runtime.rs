@@ -15,6 +15,7 @@ use crate::cm::{make_cm, CmShared, ContentionManager};
 use crate::config::MutationHook;
 use crate::config::{SystemKind, TmConfig};
 use crate::directory::Directory;
+use crate::fault::{FaultState, WatchdogConfig};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::heap::{TCell, TmHeap, TmValue};
 use crate::locks::{GlobalClock, LockTable};
@@ -52,6 +53,11 @@ pub(crate) struct Global {
     pub commit_token: SimMutex,
     /// Eager-HTM priority token holder.
     pub priority: AtomicUsize,
+    /// Tid of the thread executing in irrevocable mode (the starvation
+    /// watchdog's escalation path), or [`NO_PRIORITY`] when free. While
+    /// held, other threads park at the top of `begin_attempt`, so the
+    /// holder runs serialized with in-place writes and no abort path.
+    pub irrevocable: AtomicUsize,
     /// Monotonic transaction-timestamp source (eager-HTM stall policy's
     /// deadlock avoidance).
     pub ts_counter: std::sync::atomic::AtomicU64,
@@ -90,6 +96,7 @@ impl Global {
             overflow_sigs: (0..n).map(new_sig).collect(),
             commit_token: SimMutex::new(),
             priority: AtomicUsize::new(NO_PRIORITY),
+            irrevocable: AtomicUsize::new(NO_PRIORITY),
             ts_counter: std::sync::atomic::AtomicU64::new(1),
             txn_ts: (0..n)
                 .map(|_| CachePadded::new(std::sync::atomic::AtomicU64::new(u64::MAX)))
@@ -123,6 +130,11 @@ pub struct RunReport {
     pub wall: Duration,
     /// Aggregated transactional statistics.
     pub stats: RunStats,
+    /// Committed transactions per thread, indexed by tid. Liveness
+    /// harnesses assert every thread makes progress (nonzero entries)
+    /// under injected faults; the aggregate alone cannot distinguish a
+    /// starved thread from an idle one.
+    pub thread_commits: Vec<u64>,
     /// Sanitizer report, present when the run had `TmConfig::verify`
     /// (or `TM_VERIFY=1`) enabled.
     pub verify: Option<VerifyReport>,
@@ -244,9 +256,11 @@ impl TmRuntime {
         let mut stats = RunStats::default();
         let mut sim_cycles = 0;
         let mut prof_threads = Vec::new();
+        let mut thread_commits = Vec::with_capacity(n);
         for (_, t, p) in &threads_stats {
             stats.absorb(t);
             sim_cycles = sim_cycles.max(t.total_cycles);
+            thread_commits.push(t.commits);
             if let Some(p) = p {
                 prof_threads.push(p.clone());
             }
@@ -263,6 +277,7 @@ impl TmRuntime {
             sim_cycles,
             wall,
             stats,
+            thread_commits,
             verify,
             prof,
         }
@@ -299,6 +314,17 @@ pub struct ThreadCtx {
     pub(crate) has_priority: bool,
     /// This thread's contention manager (see [`crate::cm`]).
     pub(crate) cm: Box<dyn ContentionManager>,
+    /// Fault-injection state, when the run has an enabled
+    /// [`crate::FaultConfig`] and the system is transactional (`None`
+    /// otherwise; boxed to keep the hot context small).
+    pub(crate) fault: Option<Box<FaultState>>,
+    /// Starvation-watchdog bounds, when armed (see
+    /// [`crate::TmConfig::effective_watchdog`]).
+    pub(crate) watchdog: Option<WatchdogConfig>,
+    /// True while this thread executes a transaction in irrevocable
+    /// mode: serialized behind the irrevocability gate and the commit
+    /// token, in-place writes, no abort path.
+    pub(crate) irrevocable: bool,
     /// Per-attempt observation log for the `tm::verify` sanitizer
     /// (empty and untouched when verification is off).
     pub(crate) vtx: VerifyTxn,
@@ -317,6 +343,24 @@ impl ThreadCtx {
         let seed = global.config.seed ^ ((tid as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
         let cm = make_cm(global.config.effective_cm(), &global.config);
         let global_prof = global.config.prof;
+        // Faults model spurious *transactional* hardware events; the
+        // non-speculative systems (Sequential, GlobalLock) have no
+        // abort path to deliver them through.
+        let transactional = !matches!(
+            global.config.system,
+            SystemKind::Sequential | SystemKind::GlobalLock
+        );
+        let fault = transactional
+            .then(|| {
+                global
+                    .config
+                    .effective_fault()
+                    .map(|c| Box::new(FaultState::new(c)))
+            })
+            .flatten();
+        let watchdog = transactional
+            .then(|| global.config.effective_watchdog())
+            .flatten();
         ThreadCtx {
             tid,
             global,
@@ -329,6 +373,9 @@ impl ThreadCtx {
             in_txn: false,
             has_priority: false,
             cm,
+            fault,
+            watchdog,
+            irrevocable: false,
             vtx: VerifyTxn::default(),
             prof: global_prof.then(|| Box::new(ProfThread::default())),
         }

@@ -127,6 +127,16 @@ pub struct ThreadStats {
     /// Commits whose attempt the contention manager serialized through
     /// the global queue.
     pub serialized_commits: u64,
+    /// Aborts caused by an injected spurious event ([`crate::fault`]):
+    /// capacity pressure, interrupts, or signature false positives —
+    /// a subset of `aborts`, disjoint from real data conflicts.
+    pub spurious_aborts: u64,
+    /// Commits completed in irrevocable mode (starvation-watchdog
+    /// escalation) — a subset of `commits`.
+    pub irrevocable_commits: u64,
+    /// Times the starvation watchdog escalated a transaction to
+    /// irrevocable mode.
+    pub watchdog_trips: u64,
     /// Cycles spent between the first `begin` and the final `commit` of
     /// each transaction (includes aborted attempts and backoff).
     pub cycles_in_txn: u64,
@@ -157,6 +167,12 @@ pub struct RunStats {
     pub priority_losses: u64,
     /// Commits serialized by the contention manager.
     pub serialized_commits: u64,
+    /// Aborts caused by injected spurious events, across all threads.
+    pub spurious_aborts: u64,
+    /// Commits completed in irrevocable mode, across all threads.
+    pub irrevocable_commits: u64,
+    /// Starvation-watchdog escalations, across all threads.
+    pub watchdog_trips: u64,
     /// Sum of per-thread in-transaction cycles.
     pub cycles_in_txn: u64,
     /// Sum of per-thread total cycles.
@@ -195,6 +211,9 @@ impl RunStats {
         self.priority_wins += t.priority_wins;
         self.priority_losses += t.priority_losses;
         self.serialized_commits += t.serialized_commits;
+        self.spurious_aborts += t.spurious_aborts;
+        self.irrevocable_commits += t.irrevocable_commits;
+        self.watchdog_trips += t.watchdog_trips;
         self.cycles_in_txn += t.cycles_in_txn;
         self.cycles_total += t.total_cycles;
         self.mem_accesses += t.mem_accesses;
@@ -394,6 +413,9 @@ mod tests {
             priority_wins: 2,
             priority_losses: 1,
             serialized_commits: 1,
+            spurious_aborts: 2,
+            irrevocable_commits: 1,
+            watchdog_trips: 1,
             ..Default::default()
         };
         rs.absorb(&t);
@@ -403,6 +425,9 @@ mod tests {
         assert_eq!(rs.priority_wins, 4);
         assert_eq!(rs.priority_losses, 2);
         assert_eq!(rs.serialized_commits, 2);
+        assert_eq!(rs.spurious_aborts, 4);
+        assert_eq!(rs.irrevocable_commits, 2);
+        assert_eq!(rs.watchdog_trips, 2);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum TraceLevel {
     SigHits,
     /// Reports from the `tm::verify` sanitizer.
     Verify,
+    /// Injected spurious events from the [`crate::fault`] layer and
+    /// watchdog escalations — tagged distinctly from real conflicts so
+    /// abort-attribution traces never blame an innocent address for an
+    /// injected abort.
+    Faults,
 }
 
 impl TraceLevel {
@@ -40,6 +45,7 @@ impl TraceLevel {
             TraceLevel::Overflows => 1 << 1,
             TraceLevel::SigHits => 1 << 2,
             TraceLevel::Verify => 1 << 3,
+            TraceLevel::Faults => 1 << 4,
         }
     }
 
@@ -50,6 +56,7 @@ impl TraceLevel {
             TraceLevel::Overflows => "tm:overflow",
             TraceLevel::SigHits => "tm:sighit",
             TraceLevel::Verify => "tm:verify",
+            TraceLevel::Faults => "tm:fault",
         }
     }
 }
@@ -68,9 +75,10 @@ fn mask() -> u8 {
                 "overflows" | "overflow" => m |= TraceLevel::Overflows.bit(),
                 "sighits" | "sighit" => m |= TraceLevel::SigHits.bit(),
                 "verify" => m |= TraceLevel::Verify.bit(),
+                "faults" | "fault" => m |= TraceLevel::Faults.bit(),
                 "all" | "1" => m |= 0xff,
                 other => {
-                    eprintln!("[tm:trace] unknown TM_TRACE level {other:?} (expected conflicts, overflows, sighits, verify, all)");
+                    eprintln!("[tm:trace] unknown TM_TRACE level {other:?} (expected conflicts, overflows, sighits, verify, faults, all)");
                 }
             }
         }
@@ -123,6 +131,7 @@ mod tests {
             TraceLevel::Overflows.tag(),
             TraceLevel::SigHits.tag(),
             TraceLevel::Verify.tag(),
+            TraceLevel::Faults.tag(),
         ];
         for (i, a) in tags.iter().enumerate() {
             for b in &tags[i + 1..] {

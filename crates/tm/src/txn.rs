@@ -21,6 +21,7 @@
 
 use crate::addr::{LineAddr, WordAddr};
 use crate::config::{MutationHook, SystemKind};
+use crate::fault::{FaultConfig, FaultKind};
 use crate::heap::{TArray, TCell, TmValue};
 use crate::locks::LockWord;
 use crate::prof::ProfBucket;
@@ -164,7 +165,25 @@ impl ThreadCtx {
                 None => {
                     retries = retries.saturating_add(1);
                     self.stats.aborts += 1;
-                    self.after_abort(retries);
+                    // An injected fault recorded itself at the barrier
+                    // that delivered it; the flag routes the abort to
+                    // the spurious accounting and tells the contention
+                    // manager not to learn contention from it.
+                    let spurious = self.fault.as_ref().is_some_and(|f| f.injected.is_some());
+                    if spurious {
+                        self.stats.spurious_aborts += 1;
+                    }
+                    self.after_abort(retries, spurious);
+                    if let Some(wd) = self.watchdog {
+                        if wd.should_escalate(retries, self.clock - start_clock) {
+                            // Starvation watchdog: this transaction has
+                            // crossed the consecutive-abort or invested-
+                            // cycle bound. Escalate to irrevocable mode
+                            // for a hard forward-progress guarantee.
+                            self.stats.watchdog_trips += 1;
+                            return self.run_irrevocable(&mut body, start_clock, retries);
+                        }
+                    }
                 }
             }
         }
@@ -196,6 +215,31 @@ impl ThreadCtx {
         self.prof_begin_attempt();
         self.global.doomed[self.tid].store(false, Ordering::SeqCst);
         self.global.active[self.tid].store(true, Ordering::SeqCst);
+        // Irrevocability gate: while a watchdog-escalated transaction
+        // holds it, stand down (clearing `active` so the holder's
+        // quiesce completes) and wait for it to commit. The store-then-
+        // load order against the holder's CAS-then-scan (both SeqCst)
+        // guarantees at least one side sees the other, so no attempt
+        // ever runs concurrently with an irrevocable one. When the gate
+        // is free — every run without fault injection — this is a
+        // single uncharged load.
+        loop {
+            if self.global.irrevocable.load(Ordering::SeqCst) == NO_PRIORITY {
+                break;
+            }
+            self.global.active[self.tid].store(false, Ordering::SeqCst);
+            let mut spins = 0u32;
+            while self.global.irrevocable.load(Ordering::SeqCst) != NO_PRIORITY {
+                self.spin_charge(20);
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            self.global.active[self.tid].store(true, Ordering::SeqCst);
+        }
         self.cm_admission(retries);
         self.txn.rv = self.global.clock.read();
         {
@@ -215,6 +259,12 @@ impl ThreadCtx {
                     std::hint::spin_loop();
                 }
             }
+        }
+        // Derive this attempt's fault stream last, so gate/queue waits
+        // above don't count toward the interrupt hazard's elapsed time.
+        let (tid, attempt, clock) = (self.tid, self.stats.attempts, self.clock);
+        if let Some(f) = &mut self.fault {
+            f.begin_attempt(tid, attempt, clock);
         }
         let fixed = self
             .global
@@ -246,6 +296,7 @@ impl ThreadCtx {
                 tid: *tid,
                 retries,
                 attempt_work: 0,
+                spurious: false,
                 rng,
                 shared: &global.cm_shared,
             };
@@ -295,6 +346,7 @@ impl ThreadCtx {
                 tid: *tid,
                 retries,
                 attempt_work: txn.app_cycles,
+                spurious: false,
                 rng,
                 shared: &global.cm_shared,
             };
@@ -316,7 +368,7 @@ impl ThreadCtx {
         self.stats.records.push(rec);
     }
 
-    fn after_abort(&mut self, retries: u32) {
+    fn after_abort(&mut self, retries: u32, spurious: bool) {
         use std::sync::atomic::Ordering;
         // The fixed abort cost belongs to the attempt that just died,
         // not to (committed-attempt) overhead.
@@ -335,6 +387,7 @@ impl ThreadCtx {
                 tid: *tid,
                 retries,
                 attempt_work: txn.app_cycles,
+                spurious,
                 rng,
                 shared: &global.cm_shared,
             };
@@ -360,6 +413,165 @@ impl ThreadCtx {
                 .is_ok()
             {
                 self.has_priority = true;
+            }
+        }
+    }
+
+    /// Watchdog escalation: execute `body` to completion in irrevocable
+    /// mode — serialized behind the irrevocability gate and the global
+    /// commit token, with in-place writes and no conflict-abort path.
+    /// This is the engine's hard forward-progress guarantee: whatever
+    /// the fault and conflict schedule, an escalated transaction
+    /// commits (explicit application aborts re-execute serially, which
+    /// converges because no other thread changes data underneath).
+    ///
+    /// Deadlock-safe ordering: (1) take the gate — new attempts now
+    /// park at the top of `begin_attempt`; (2) quiesce on the `active`
+    /// flags *without* holding the commit token, because an in-flight
+    /// lazy committer needs the token to finish its attempt; (3) take
+    /// the commit token. A drop guard releases token and gate even if
+    /// the body panics, so the other threads' park loops always exit
+    /// and the panic propagates as a run failure instead of a hang.
+    fn run_irrevocable<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Txn<'_>) -> TxResult<R>,
+        start_clock: u64,
+        mut retries: u32,
+    ) -> R {
+        use std::sync::atomic::Ordering;
+        if crate::trace::enabled(TraceLevel::Faults) {
+            crate::trace::emit(
+                TraceLevel::Faults,
+                format_args!(
+                    "watchdog tid={} retries={retries} invested={} -> irrevocable",
+                    self.tid,
+                    self.clock - start_clock
+                ),
+            );
+        }
+        // 1. The irrevocability gate (one escalated transaction at a
+        // time; losers wait their turn here).
+        let mut spins = 0u32;
+        while self
+            .global
+            .irrevocable
+            .compare_exchange(NO_PRIORITY, self.tid, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            self.spin_charge(20);
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        struct IrrevGuard {
+            global: std::sync::Arc<crate::runtime::Global>,
+            tid: usize,
+            token_held: bool,
+        }
+        impl Drop for IrrevGuard {
+            fn drop(&mut self) {
+                use std::sync::atomic::Ordering;
+                // Token before gate: a thread released by the gate must
+                // find the token in a consistent state.
+                if self.token_held {
+                    self.global.commit_token.release();
+                }
+                self.global
+                    .irrevocable
+                    .compare_exchange(self.tid, NO_PRIORITY, Ordering::SeqCst, Ordering::SeqCst)
+                    .ok();
+            }
+        }
+        let mut guard = IrrevGuard {
+            global: self.global.clone(),
+            tid: self.tid,
+            token_held: false,
+        };
+        // 2. Quiesce: wait for every other thread's in-flight attempt
+        // to resolve. New attempts park at the gate, so once `active`
+        // drains, this thread is the only one touching shared data.
+        let n = self.global.config.threads;
+        let mut spins = 0u32;
+        while (0..n).any(|t| t != self.tid && self.global.active[t].load(Ordering::SeqCst)) {
+            self.spin_charge(20);
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // 3. The commit token, for the whole irrevocable execution:
+        // read-only fences and lazy commits spin on it, so even a
+        // thread mid-attempt when the gate closed cannot slip a commit
+        // under our in-place writes.
+        let mut spins = 0u32;
+        while !self.global.commit_token.try_acquire() {
+            self.spin_charge(10);
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        guard.token_held = true;
+        loop {
+            // An irrevocable attempt is a real attempt: it enters the
+            // statistics, the profiler, and the sanitizer's
+            // serialization graph exactly like a normal one.
+            self.irrevocable = true;
+            self.in_txn = true;
+            self.stats.attempts += 1;
+            self.txn.reset();
+            self.verify_begin_attempt();
+            self.prof_begin_attempt();
+            self.global.doomed[self.tid].store(false, Ordering::SeqCst);
+            let fixed = self
+                .global
+                .config
+                .cost
+                .txn_fixed_for(self.global.config.system);
+            self.charge_tm(fixed);
+            let result = {
+                let mut txn = Txn { ctx: &mut *self };
+                body(&mut txn)
+            };
+            match result {
+                Ok(value) => {
+                    self.charge_tm(fixed); // commit tail, as in normal commits
+                    self.txn.undo.clear();
+                    self.in_txn = false;
+                    self.prof_end_attempt(true);
+                    self.irrevocable = false;
+                    self.stats.irrevocable_commits += 1;
+                    self.finish_commit(start_clock, retries);
+                    drop(guard);
+                    return value;
+                }
+                Err(Abort(())) => {
+                    // Explicit application abort (labyrinth's
+                    // TM_RESTART): roll back the in-place writes and
+                    // re-execute, still irrevocable.
+                    let undo_len = self.txn.undo.len();
+                    if undo_len > 0 || self.global.verify.is_some() {
+                        self.undo_restore();
+                        self.txn.undo.clear();
+                        if undo_len > 0 {
+                            let per = self.global.config.cost.abort_per_undo;
+                            self.charge_tm(per * undo_len as u64);
+                        }
+                    }
+                    self.in_txn = false;
+                    self.prof_end_attempt(false);
+                    self.charge_bucket(self.global.config.cost.abort_fixed, ProfBucket::Wasted);
+                    self.irrevocable = false;
+                    retries = retries.saturating_add(1);
+                    self.stats.aborts += 1;
+                }
             }
         }
     }
@@ -495,12 +707,23 @@ impl Txn<'_> {
         panic!("transactional access to unmapped address {addr}");
     }
 
+    /// Whether this transaction is executing in irrevocable mode (the
+    /// starvation watchdog escalated it after sustained aborts): it is
+    /// serialized, writes in place, and can no longer conflict-abort.
+    pub fn is_irrevocable(&self) -> bool {
+        self.ctx.irrevocable
+    }
+
     /// Transactional read of a raw word address.
     pub fn read_word(&mut self, addr: WordAddr) -> TxResult<u64> {
         self.ctx.txn.read_barriers += 1;
         if !self.ctx.global.heap.is_mapped(addr) {
             return self.unmapped_or_panic(addr);
         }
+        if self.ctx.irrevocable {
+            return self.irrev_read(addr);
+        }
+        self.fault_probe()?;
         match self.ctx.global.config.system {
             SystemKind::Sequential | SystemKind::GlobalLock => Ok(self.seq_read(addr)),
             SystemKind::LazyStm => self.stm_lazy_read(addr),
@@ -518,6 +741,10 @@ impl Txn<'_> {
         if !self.ctx.global.heap.is_mapped(addr) {
             return self.unmapped_or_panic(addr).map(|_| ());
         }
+        if self.ctx.irrevocable {
+            return self.irrev_write(addr, value);
+        }
+        self.fault_probe()?;
         match self.ctx.global.config.system {
             SystemKind::Sequential | SystemKind::GlobalLock => {
                 self.seq_write(addr, value);
@@ -573,6 +800,99 @@ impl Txn<'_> {
             }
             _ => {}
         }
+    }
+
+    // ----- fault injection & irrevocable barriers -----------------------
+
+    /// Probe the fault-injection layer at a barrier boundary. Draws are
+    /// taken from the attempt's seeded stream in a fixed order
+    /// (interrupt hazard, capacity pressure, signature false positive),
+    /// so a fault schedule is a pure function of
+    /// `(fault_seed, tid, attempt)`. An injected fault records its kind
+    /// for the spurious-abort accounting and aborts the attempt
+    /// *without* a `prof_conflict` call — no innocent address is ever
+    /// blamed in the conflict table for an injected event.
+    fn fault_probe(&mut self) -> TxResult<()> {
+        if self.ctx.fault.is_none() {
+            return Ok(());
+        }
+        let clock = self.ctx.clock;
+        let quantum = self.ctx.global.config.quantum;
+        let system = self.ctx.global.config.system;
+        let footprint = self.ctx.txn.read_lines.len() + self.ctx.txn.write_lines.len();
+        let f = self.ctx.fault.as_mut().expect("checked above");
+        let injected = 'probe: {
+            if f.cfg.interrupt_permille != 0 && quantum > 0 {
+                // One hazard roll per scheduling-quantum boundary the
+                // attempt has crossed since it began.
+                let elapsed = (clock - f.attempt_start) / quantum;
+                while f.quanta_rolled < elapsed {
+                    f.quanta_rolled += 1;
+                    if f.stream.roll(f.cfg.interrupt_permille) {
+                        break 'probe Some(FaultKind::Interrupt);
+                    }
+                }
+            }
+            if footprint >= f.cfg.capacity_lines && f.stream.roll(f.cfg.capacity_permille) {
+                break 'probe Some(FaultKind::Capacity);
+            }
+            if FaultConfig::sigfp_applies(system) && f.stream.roll(f.cfg.sigfp_permille) {
+                break 'probe Some(FaultKind::SigFalsePositive);
+            }
+            None
+        };
+        let Some(kind) = injected else {
+            return Ok(());
+        };
+        f.injected = Some(kind);
+        if crate::trace::enabled(TraceLevel::Faults) {
+            crate::trace::emit(
+                TraceLevel::Faults,
+                format_args!(
+                    "inject kind={kind} tid={} attempt={} footprint={footprint}",
+                    self.ctx.tid, self.ctx.stats.attempts
+                ),
+            );
+        }
+        Err(Abort(()))
+    }
+
+    /// Irrevocable read barrier: direct load with the system's barrier
+    /// cost. No conflict detection — the gate and quiesce in
+    /// `run_irrevocable` guarantee exclusive execution.
+    fn irrev_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        let cost = &self.ctx.global.config.cost;
+        let tm = match self.ctx.global.config.system {
+            SystemKind::LazyStm => cost.stm_lazy_read,
+            SystemKind::EagerStm => cost.stm_eager_read,
+            SystemKind::LazyHybrid | SystemKind::EagerHybrid => cost.hybrid_read,
+            _ => 0, // HTM reads charge memory latency only
+        };
+        self.ctx.charge_tm(tm);
+        let line = addr.line();
+        self.ctx.txn.read_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        Ok(self.ctx.txn_load(addr))
+    }
+
+    /// Irrevocable write barrier: eager in-place store (undo-logged so
+    /// an explicit application abort can still roll back).
+    fn irrev_write(&mut self, addr: WordAddr, value: u64) -> TxResult<()> {
+        let cost = &self.ctx.global.config.cost;
+        let tm = match self.ctx.global.config.system {
+            SystemKind::LazyStm => cost.stm_lazy_write,
+            SystemKind::EagerStm => cost.stm_eager_write,
+            SystemKind::LazyHybrid | SystemKind::EagerHybrid => cost.hybrid_write,
+            _ => 0,
+        };
+        self.ctx.charge_tm(tm);
+        let line = addr.line();
+        self.ctx.txn.write_lines.insert(line.0);
+        let c = self.ctx.mem_cost(line);
+        self.ctx.charge_app(c);
+        self.ctx.txn_store_eager(addr, value);
+        Ok(())
     }
 
     // ----- sequential ---------------------------------------------------
@@ -1165,6 +1485,31 @@ impl Txn<'_> {
             SystemKind::LazyHybrid => self.commit_lazy_hybrid(),
             SystemKind::EagerHybrid => self.commit_eager_hybrid(),
         };
+        if result.is_ok() {
+            // Injected delayed commit: extra cycles modeling commit
+            // arbitration / coherence-burst stalls, charged as TM
+            // overhead of the committing attempt.
+            let stall = self.ctx.fault.as_mut().map_or(0, |f| {
+                if f.stream.roll(f.cfg.stall_permille) {
+                    f.cfg.stall_cycles
+                } else {
+                    0
+                }
+            });
+            if stall > 0 {
+                if crate::trace::enabled(TraceLevel::Faults) {
+                    crate::trace::emit(
+                        TraceLevel::Faults,
+                        format_args!(
+                            "inject kind={} tid={} cycles={stall}",
+                            FaultKind::CommitStall,
+                            self.ctx.tid
+                        ),
+                    );
+                }
+                self.ctx.charge_tm(stall);
+            }
+        }
         if result.is_ok() && self.ctx.txn.cm_token {
             // CM-serialized attempt: the token was held since begin;
             // release it only now that the commit's effects are visible.

@@ -188,6 +188,41 @@ proptest! {
         }
     }
 
+    /// Overflow audit of the backoff arithmetic: at extreme retry
+    /// counts (far past the 64-step caps) and adversarially large base
+    /// delays, every windowed policy saturates at `u64::MAX` instead of
+    /// wrapping to zero. Before the saturating `+ 1` fix, a product
+    /// landing on `u64::MAX` wrapped the window to 0 — no backoff at
+    /// the moment of worst contention.
+    #[test]
+    fn cm_backoff_window_saturates_past_64_retries(
+        retries in 65u32..u32::MAX,
+        base in (u64::MAX / 63)..u64::MAX,
+    ) {
+        let policies = [
+            CmPolicy::RandomizedLinear { after: 0, base },
+            CmPolicy::ExponentialRandom { after: 0, base, max_exp: u32::MAX },
+            CmPolicy::Karma { base },
+        ];
+        for policy in policies {
+            let cfg = TmConfig::new(SystemKind::LazyStm, 2);
+            let cm = make_cm(policy, &cfg);
+            let w = cm.backoff_window(retries);
+            // retries >= 65 pushes linear past 65 steps, karma to its
+            // 64-step cap, and the exponent to its 40-bit clamp; with
+            // base > u64::MAX/64 every product overflows.
+            prop_assert!(
+                w == u64::MAX,
+                "{} window wrapped at retries={} base={}: got {}",
+                policy.label(), retries, base, w
+            );
+            prop_assert!(
+                cm.backoff_window(1) <= w,
+                "{} window not monotone under saturation", policy.label()
+            );
+        }
+    }
+
     /// `Immediate` replays the pre-refactor `BackoffPolicy::None`
     /// schedule on any abort trace: zero backoff everywhere and no RNG
     /// draws (the stream that seeds every downstream randomized
@@ -206,6 +241,7 @@ proptest! {
                 tid: 0,
                 retries,
                 attempt_work: 7,
+                spurious: false,
                 rng: &mut rng,
                 shared: &shared,
             });
@@ -250,6 +286,7 @@ proptest! {
                     tid: 0,
                     retries,
                     attempt_work: 7,
+                    spurious: false,
                     rng: &mut new_rng,
                     shared: &shared,
                 })
@@ -296,6 +333,7 @@ proptest! {
                     tid: 0,
                     retries,
                     attempt_work: 7,
+                    spurious: false,
                     rng: &mut new_rng,
                     shared: &shared,
                 })

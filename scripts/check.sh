@@ -22,6 +22,9 @@ cargo run -q --release -p bench --bin ablation_cm -- --smoke
 echo "==> schedfuzz --smoke"
 TM_VERIFY=1 cargo run -q --release -p bench --bin schedfuzz -- --smoke
 
+echo "==> chaos --smoke"
+cargo run -q --release -p bench --bin chaos -- --smoke
+
 echo "==> table4 --smoke"
 cargo run -q --release -p bench --bin table4 -- --smoke
 

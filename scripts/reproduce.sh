@@ -33,6 +33,12 @@ run ablation_bayes_backend.txt --bin ablation_bayes_backend
 run ablation_cm.txt            --bin ablation_cm -- --scale 2 \
                                --json results/BENCH_ablation_cm.json
 
+# Fault-injection robustness sweep: writes its own results/chaos.txt
+# (degradation curve) and the per-run rows; scale pinned to its default
+# so the recorded curve is reproducible regardless of $SCALE.
+echo ">>> chaos -> results/chaos.txt"
+cargo run --release -p bench --bin chaos -- --json results/BENCH_chaos.json
+
 # Golden cycle-count regression files (results/golden/*.json): always
 # scale 64 with the default scheduler seed, regardless of $SCALE, so
 # `cargo test --release --test golden -- --ignored` can diff them.
